@@ -1,0 +1,101 @@
+// Shared plumbing for the bench binaries.
+//
+// Every bench regenerates one of the paper's tables/figures and accepts the
+// same scaling flags, so results can be dialled from a minutes-long default
+// run to a paper-faithful overnight run:
+//   --trials N   repetitions per configuration (paper: 20)
+//   --epochs N   training epochs per model
+//   --scale F    dataset-size multiplier (1.0 = Table II at 1/45 scale)
+//   --seed S     master seed
+//   --log L      log verbosity
+#pragma once
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/logging.hpp"
+#include "core/stopwatch.hpp"
+#include "core/table.hpp"
+#include "experiment/experiment.hpp"
+#include "experiment/report.hpp"
+
+namespace tdfm::bench {
+
+struct BenchSettings {
+  std::size_t trials = 2;
+  std::size_t epochs = 9;
+  double scale = 0.65;
+  std::size_t width = 8;
+  std::uint64_t seed = 42;
+};
+
+/// Parses the common flags; returns false when --help was requested.
+inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
+                              BenchSettings& settings,
+                              int default_trials = 2, int default_epochs = 9,
+                              double default_scale = 0.65,
+                              int default_width = 8) {
+  cli.add_flag("width", std::to_string(default_width),
+               "model base channel width (paper-scale analogue: 8)");
+  add_common_bench_flags(cli, default_trials, default_epochs, default_scale);
+  if (!cli.parse(argc, argv)) return false;
+  settings.width = static_cast<std::size_t>(cli.get_int("width"));
+  settings.trials = static_cast<std::size_t>(cli.get_int("trials"));
+  settings.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  settings.scale = cli.get_double("scale");
+  settings.seed = cli.get_u64("seed");
+  set_log_level(parse_log_level(cli.get_string("log")));
+  return true;
+}
+
+/// Builds the study skeleton shared by all benches.  The tiny Pneumonia-sim
+/// dataset (~120 samples) gets a smaller batch and proportionally more
+/// epochs so every model sees a comparable number of optimisation steps —
+/// with the GTSRB/CIFAR settings it would receive ~4 steps per epoch and
+/// models would collapse to the class prior.
+inline experiment::StudyConfig base_study(const BenchSettings& s,
+                                          data::DatasetKind dataset,
+                                          models::Arch model) {
+  experiment::StudyConfig cfg;
+  cfg.dataset.kind = dataset;
+  cfg.dataset.scale = s.scale;
+  cfg.model = model;
+  cfg.trials = s.trials;
+  cfg.train_opts.epochs = s.epochs;
+  cfg.model_width = s.width;
+  cfg.seed = s.seed;
+  if (dataset == data::DatasetKind::kPneumoniaSim) {
+    cfg.train_opts.batch_size = 8;
+    cfg.train_opts.epochs = s.epochs * 5 / 2;
+    // Pneumonia-sim is already tiny (120 train images, mirroring the real
+    // dataset's ~1/10 size); scaling it below full size would leave too few
+    // samples per class for any model to train.  It is cheap — keep it full.
+    cfg.dataset.scale = std::max(s.scale, 1.0);
+  }
+  return cfg;
+}
+
+/// Parses "ResNet50,VGG16,..." into architecture ids.
+inline std::vector<models::Arch> parse_arch_list(const std::string& list) {
+  std::vector<models::Arch> archs;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    archs.push_back(models::arch_from_name(list.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  TDFM_CHECK(!archs.empty(), "empty model list");
+  return archs;
+}
+
+/// Prints a header common to all benches.
+inline void print_banner(const std::string& what, const BenchSettings& s) {
+  std::cout << "=== " << what << " ===\n"
+            << "settings: trials=" << s.trials << " epochs=" << s.epochs
+            << " scale=" << s.scale << " seed=" << s.seed
+            << "  (paper: 20 trials, full datasets)\n\n";
+}
+
+}  // namespace tdfm::bench

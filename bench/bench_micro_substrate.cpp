@@ -1,0 +1,137 @@
+// E9 — substrate micro-benchmarks (google-benchmark).
+//
+// Throughput of the numeric kernels everything else stands on: GEMM,
+// im2col, layer forward/backward, loss evaluation, fault injection and
+// dataset generation.  These are not a paper artefact; they exist so
+// performance regressions in the substrate are visible independently of
+// the (noisy) end-to-end experiment timings.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.hpp"
+#include "data/synthetic.hpp"
+#include "faults/fault_injector.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/init.hpp"
+
+namespace {
+
+using namespace tdfm;
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  Rng rng(1);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  for (auto _ : state) {
+    gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const ConvGeometry g{8, 16, 16, 3, 1, 1};
+  std::vector<float> img(g.in_c * g.in_h * g.in_w, 0.5F);
+  std::vector<float> cols(g.patch_rows() * g.patch_cols());
+  for (auto _ : state) {
+    im2col(g, img.data(), cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_Conv2DForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2D conv(8, 16, 16, 16, 3, 1, 1, rng);
+  Tensor x(Shape{16, 8, 16, 16});
+  uniform_init(x, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    Tensor gx = conv.backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_Conv2DForwardBackward);
+
+void BM_DenseForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Dense dense(256, 128, rng);
+  Tensor x(Shape{32, 256});
+  uniform_init(x, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    Tensor y = dense.forward(x, true);
+    Tensor gx = dense.backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+}
+BENCHMARK(BM_DenseForwardBackward);
+
+void BM_Loss(benchmark::State& state) {
+  Rng rng(4);
+  Tensor logits(Shape{32, 43});
+  uniform_init(logits, -2.0F, 2.0F, rng);
+  std::vector<int> labels(32);
+  for (auto& l : labels) l = static_cast<int>(rng.index(43));
+  const Tensor targets = nn::one_hot(labels, 43);
+  std::unique_ptr<nn::Loss> loss;
+  switch (state.range(0)) {
+    case 0: loss = std::make_unique<nn::CrossEntropyLoss>(); break;
+    case 1: loss = std::make_unique<nn::LabelRelaxationLoss>(0.1F); break;
+    default: loss = std::make_unique<nn::APLLoss>(1.0F, 1.0F); break;
+  }
+  Tensor grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss->compute(logits, targets, grad));
+  }
+}
+BENCHMARK(BM_Loss)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.kind = static_cast<data::DatasetKind>(state.range(0));
+  spec.scale = 0.2;
+  for (auto _ : state) {
+    auto pair = data::generate(spec);
+    benchmark::DoNotOptimize(pair.train.images.data());
+  }
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FaultInjection(benchmark::State& state) {
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kGtsrbSim;
+  spec.scale = 0.5;
+  const auto pair = data::generate(spec);
+  Rng rng(5);
+  const faults::FaultSpec f{static_cast<faults::FaultType>(state.range(0)), 30.0};
+  for (auto _ : state) {
+    auto faulty = faults::inject(pair.train, f, rng);
+    benchmark::DoNotOptimize(faulty.images.data());
+  }
+}
+BENCHMARK(BM_FaultInjection)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ModelBuild(benchmark::State& state) {
+  const auto arch = static_cast<models::Arch>(state.range(0));
+  models::ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 43;
+  cfg.width = 6;
+  Rng rng(6);
+  for (auto _ : state) {
+    auto net = models::build_model(arch, cfg, rng);
+    benchmark::DoNotOptimize(net->parameter_count());
+  }
+}
+BENCHMARK(BM_ModelBuild)->Arg(0)->Arg(4)->Arg(5)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

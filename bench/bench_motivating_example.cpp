@@ -1,0 +1,42 @@
+// E1 — §II / §III-D motivating example.
+//
+// Pneumonia dataset, ResNet50, 10% mislabelling.  The paper reports: golden
+// accuracy 90%, unprotected faulty accuracy 55%, and per-technique AD of
+// LS 5%, LC 29%, RL 15%, KD 13%, Ens 5% — label smoothing and ensembles are
+// the most resilient.  This bench regenerates those rows.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace tdfm;
+  using namespace tdfm::bench;
+
+  CliParser cli;
+  BenchSettings s;
+  if (!parse_bench_flags(argc, argv, cli, s, /*trials=*/2, /*epochs=*/8,
+                         /*scale=*/1.0, /*width=*/8)) {
+    return 0;
+  }
+  print_banner("E1: motivating example — Pneumonia, ResNet50, 10% mislabelling", s);
+
+  experiment::StudyConfig cfg =
+      base_study(s, data::DatasetKind::kPneumoniaSim, models::Arch::kResNet50);
+  cfg.fault_levels = {
+      {faults::FaultSpec{faults::FaultType::kMislabelling, 10.0}}};
+
+  Stopwatch watch;
+  const experiment::StudyResult result = experiment::run_study(cfg);
+
+  std::cout << experiment::render_ad_table(
+      result, "AD, Pneumonia-sim / ResNet50 / 10% mislabelling");
+  std::cout << "\n"
+            << experiment::render_accuracy_table(
+                   result, "accuracy under 10% mislabelling");
+  std::cout << "\n" << experiment::render_winners(result);
+  std::cout << "\npaper reference: golden 90%, faulty base 55% accuracy; AD "
+               "LS 5%, LC 29%, RL 15%, KD 13%, Ens 5%\n";
+  std::cout << "elapsed: " << tdfm::fixed(watch.elapsed_seconds(), 1) << "s\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,64 @@
+// E8 — §IV-E: runtime overhead analysis.
+//
+// Training and inference wall-clock of every technique, normalised to the
+// unprotected baseline.  Expected shapes from the paper:
+//   - inference overhead 1x for all techniques except ensembles (5x —
+//     five member models are consulted);
+//   - LS cheapest to train (~1x); KD ~1.5x (teacher + faster student);
+//   - LC higher than most (secondary model trained concurrently);
+//   - Ens highest training overhead (five models).
+// The bench also prints the AD vs naive-accuracy-drop ablation (DESIGN.md
+// §5) in --verbose mode.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace tdfm;
+  using namespace tdfm::bench;
+
+  CliParser cli;
+  cli.add_flag("model", "ConvNet", "model under test");
+  cli.add_flag("verbose", "false", "also print the AD-definition ablation");
+  BenchSettings s;
+  if (!parse_bench_flags(argc, argv, cli, s, /*trials=*/1, /*epochs=*/8,
+                         /*scale=*/0.4, /*width=*/8)) {
+    return 0;
+  }
+  print_banner("E8: runtime overhead of the TDFM techniques (§IV-E)", s);
+
+  const auto model = models::arch_from_name(cli.get_string("model"));
+  experiment::StudyConfig cfg = base_study(s, data::DatasetKind::kGtsrbSim, model);
+  cfg.fault_levels = {
+      {faults::FaultSpec{faults::FaultType::kMislabelling, 30.0}}};
+
+  Stopwatch watch;
+  const auto result = experiment::run_study(cfg);
+  std::cout << experiment::render_overhead_table(
+      result, std::string("overheads — GTSRB-sim / ") + models::arch_name(model) +
+                  " / 30% mislabelling");
+
+  if (cli.get_bool("verbose")) {
+    std::cout << "\nAD-definition ablation (per §III-C AD avoids double-"
+                 "counting; naive drop conflates golden mistakes):\n";
+    AsciiTable ab({"technique", "AD", "reverse AD", "naive accuracy drop"});
+    for (std::size_t ti = 0; ti < result.config.techniques.size(); ++ti) {
+      const auto& cell = result.cells[0][ti];
+      double rad = 0.0;
+      double drop = 0.0;
+      for (const auto& t : cell.trials) {
+        rad += t.reverse_ad;
+        drop += t.naive_drop;
+      }
+      const auto n = static_cast<double>(cell.trials.size());
+      ab.add_row({std::string(mitigation::technique_name(result.config.techniques[ti])),
+                  percent(cell.ad.mean), percent(rad / n), percent(drop / n)});
+    }
+    std::cout << ab.render();
+  }
+  std::cout << "\npaper reference: inference 1x everywhere except Ens (5x); "
+               "training LS ~1x, KD ~1.5x, LC high, Ens highest.\n";
+  std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

@@ -1,0 +1,52 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+//
+// Every bench accepts the same scaling knobs (--trials, --epochs, --scale,
+// --seed, --log) so a user can dial any experiment from a seconds-long smoke
+// run to a paper-faithful overnight run without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdfm {
+
+/// Parses "--key value" and "--key=value" style flags.  Unknown flags throw
+/// ConfigError listing the registered flags, so typos fail loudly.
+class CliParser {
+ public:
+  /// Registers a flag with a default value and a help string.
+  void add_flag(std::string name, std::string default_value, std::string help);
+
+  /// Parses argv.  "--help" prints usage and returns false (caller exits 0).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+
+  [[nodiscard]] std::string usage(std::string_view program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+};
+
+/// Registers the scaling flags shared by all bench binaries:
+///   --trials (repetitions per configuration; paper used 20)
+///   --epochs (training epochs per trial)
+///   --scale  (dataset-size multiplier, 1.0 = bench default)
+///   --seed   (master seed)
+///   --log    (debug|info|warn|error|off)
+void add_common_bench_flags(CliParser& cli, int default_trials, int default_epochs,
+                            double default_scale = 1.0);
+
+}  // namespace tdfm

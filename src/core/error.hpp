@@ -1,0 +1,69 @@
+// Error handling primitives for the tdfm library.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we use exceptions for error
+// reporting and reserve assertions/checks for programming errors.  All
+// exceptions thrown by tdfm derive from tdfm::Error so callers can install a
+// single catch site.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace tdfm {
+
+/// Root of the tdfm exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition or invariant inside the library was violated.
+/// Indicates a bug in the caller (bad arguments) or in tdfm itself.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Tensor/layer shapes do not line up.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A configuration value (experiment config, CLI flag, hyperparameter) is
+/// out of its documented domain.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(std::string_view kind,
+                                             std::string_view expr,
+                                             std::string_view msg,
+                                             const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failure at " << loc.file_name() << ':' << loc.line() << " in "
+     << loc.function_name() << ": (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+/// Checks a precondition; throws InvariantError when violated.
+/// Active in all build types — experiment correctness depends on these.
+inline void check(bool cond, std::string_view expr, std::string_view msg = "",
+                  const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::throw_check_failure("check", expr, msg, loc);
+}
+
+}  // namespace tdfm
+
+/// Convenience macro capturing the failing expression text.
+#define TDFM_CHECK(cond, ...) \
+  ::tdfm::check(static_cast<bool>(cond), #cond __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,44 @@
+#include "core/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+#include "core/error.hpp"
+
+namespace tdfm {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+constexpr std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw ConfigError("unknown log level: " + std::string(name));
+}
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  if (level < g_level.load() || msg.empty()) return;
+  std::cerr << '[' << level_tag(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace tdfm

@@ -1,0 +1,37 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tdfm {
+
+float Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform; u1 is nudged away from zero to keep log() finite.
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = static_cast<float>(r * std::sin(theta));
+  have_cached_normal_ = true;
+  return static_cast<float>(r * std::cos(theta));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  TDFM_CHECK(k <= n, "cannot sample more items than the population holds");
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher–Yates: after k swaps the prefix is the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace tdfm

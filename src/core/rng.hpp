@@ -1,0 +1,133 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in tdfm (weight init, shuffling, fault
+// injection, synthetic data generation, dropout) draws from an explicitly
+// seeded Rng so that whole experiments are reproducible bit-for-bit from a
+// single master seed.  We implement xoshiro256** (Blackman & Vigna) seeded
+// via splitmix64 — fast, high quality, and independent of the standard
+// library's unspecified distributions (std::normal_distribution etc. differ
+// across standard libraries, which would break cross-platform determinism).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tdfm {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with explicit seeding and forkable substreams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedu) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  /// Creates an independent generator derived from this one's stream plus a
+  /// caller-supplied salt.  Forking gives every component (e.g. each model
+  /// of an ensemble, each trial of an experiment) its own stream without the
+  /// components perturbing one another's sequences.
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    std::uint64_t mix = next() ^ (0x9e3779b97f4a7c15ULL * (salt + 1));
+    return Rng(mix);
+  }
+
+  [[nodiscard]] std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  [[nodiscard]] float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    TDFM_CHECK(n > 0, "index() needs a non-empty range");
+    // Lemire's multiply-shift rejection method for unbiased bounded ints.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ULL - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::size_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int range(int lo, int hi) {
+    TDFM_CHECK(lo <= hi, "range() bounds out of order");
+    return lo + static_cast<int>(index(static_cast<std::size_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Box–Muller (cached second variate).
+  [[nodiscard]] float normal();
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] float normal(float mean, float stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli draw with success probability p.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (Fisher–Yates prefix).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0F;
+};
+
+}  // namespace tdfm

@@ -1,0 +1,75 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tdfm {
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double t_critical_975(std::size_t dof) {
+  // Two-sided 95% critical values of Student's t.  Exact to 3 decimals for
+  // dof <= 30; the asymptotic normal value is used beyond that (error < 2%).
+  static constexpr double table[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return table[dof];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+SampleStats summarize(std::span<const double> xs) {
+  SampleStats s;
+  s.n = xs.size();
+  if (s.n == 0) return s;
+  s.mean = mean_of(xs);
+  auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  if (s.n == 1) return s;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  s.stderr_ = s.stddev / std::sqrt(static_cast<double>(s.n));
+  s.ci95_half_width = t_critical_975(s.n - 1) * s.stderr_;
+  return s;
+}
+
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  WelchResult r;
+  const SampleStats sa = summarize(a);
+  const SampleStats sb = summarize(b);
+  if (sa.n < 2 || sb.n < 2) return r;
+  const double va = sa.stddev * sa.stddev / static_cast<double>(sa.n);
+  const double vb = sb.stddev * sb.stddev / static_cast<double>(sb.n);
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    // Identical constant samples: no evidence of a difference.
+    r.t = (sa.mean == sb.mean) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.dof = static_cast<double>(sa.n + sb.n - 2);
+    r.significant_at_05 = (sa.mean != sb.mean);
+    return r;
+  }
+  r.t = (sa.mean - sb.mean) / denom;
+  // Welch–Satterthwaite degrees of freedom.
+  const double num = (va + vb) * (va + vb);
+  const double den = va * va / static_cast<double>(sa.n - 1) +
+                     vb * vb / static_cast<double>(sb.n - 1);
+  r.dof = (den > 0.0) ? num / den : static_cast<double>(sa.n + sb.n - 2);
+  const auto dof_floor = static_cast<std::size_t>(std::max(1.0, std::floor(r.dof)));
+  r.significant_at_05 = std::fabs(r.t) > t_critical_975(dof_floor);
+  return r;
+}
+
+}  // namespace tdfm

@@ -1,0 +1,54 @@
+// Summary statistics for experiment reporting.
+//
+// The paper reports every AD/accuracy value as a mean over repeated trials
+// with a 95% confidence interval (error bars in Figs. 3 and 4), and §IV-C
+// argues "statistical similarity" between combined and single fault types.
+// This header provides the small amount of statistics needed for both:
+// sample summaries, t-based confidence intervals, and Welch's t-test.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tdfm {
+
+/// Five-number-style summary of a sample of measurements.
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double stderr_ = 0.0;  ///< standard error of the mean
+  double ci95_half_width = 0.0;  ///< half-width of the 95% CI (t-based)
+  double min = 0.0;
+  double max = 0.0;
+
+  [[nodiscard]] double ci_lo() const { return mean - ci95_half_width; }
+  [[nodiscard]] double ci_hi() const { return mean + ci95_half_width; }
+};
+
+/// Computes mean/stddev/95% CI for a sample.  n = 0 yields all-zero stats;
+/// n = 1 yields a zero-width interval.
+[[nodiscard]] SampleStats summarize(std::span<const double> xs);
+
+/// Two-sided critical value t*(0.975, dof) of Student's t distribution,
+/// tabulated for small dof and asymptotic (1.96) for large dof.
+[[nodiscard]] double t_critical_975(std::size_t dof);
+
+/// Result of Welch's unequal-variance t-test.
+struct WelchResult {
+  double t = 0.0;       ///< test statistic
+  double dof = 0.0;     ///< Welch–Satterthwaite degrees of freedom
+  bool significant_at_05 = false;  ///< |t| exceeds t*(0.975, dof)
+};
+
+/// Welch's t-test for difference of means between two samples.  Used by the
+/// combined-fault experiment (§IV-C) to decide whether a combination behaves
+/// "statistically similar" to its dominant single fault type.
+[[nodiscard]] WelchResult welch_t_test(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Arithmetic mean; returns 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+}  // namespace tdfm

@@ -1,0 +1,78 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace tdfm {
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  TDFM_CHECK(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::size_t> AsciiTable::column_widths() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  return w;
+}
+
+namespace {
+void render_cells(std::ostringstream& os, const std::vector<std::string>& cells,
+                  const std::vector<std::size_t>& widths, char sep) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    os << sep << ' ' << cells[c]
+       << std::string(widths[c] - cells[c].size() + 1, ' ');
+  }
+  os << sep << '\n';
+}
+}  // namespace
+
+std::string AsciiTable::render() const {
+  const auto widths = column_widths();
+  std::ostringstream os;
+  std::string rule = "+";
+  for (auto w : widths) rule += std::string(w + 2, '-') + '+';
+  rule += '\n';
+  os << rule;
+  render_cells(os, header_, widths, '|');
+  os << rule;
+  for (const auto& row : rows_) render_cells(os, row, widths, '|');
+  os << rule;
+  return os.str();
+}
+
+std::string AsciiTable::render_markdown() const {
+  const auto widths = column_widths();
+  std::ostringstream os;
+  render_cells(os, header_, widths, '|');
+  os << '|';
+  for (auto w : widths) os << std::string(w + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) render_cells(os, row, widths, '|');
+  return os.str();
+}
+
+std::string fixed(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string percent(double fraction, int digits) {
+  return fixed(fraction * 100.0, digits) + "%";
+}
+
+std::string percent_with_ci(double mean, double ci_half_width, int digits) {
+  return fixed(mean * 100.0, digits) + "% ± " + fixed(ci_half_width * 100.0, digits) + "%";
+}
+
+}  // namespace tdfm

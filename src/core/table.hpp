@@ -1,0 +1,46 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures; the
+// output format mirrors the paper's layout (rows = configurations, columns =
+// techniques) so paper-vs-measured comparison in EXPERIMENTS.md is direct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tdfm {
+
+/// Column-aligned ASCII table with an optional title and a markdown mode.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Appends a row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing separators.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as a GitHub-markdown table (used in EXPERIMENTS.md).
+  [[nodiscard]] std::string render_markdown() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v as a fixed-point string with `digits` decimals.
+[[nodiscard]] std::string fixed(double v, int digits = 2);
+
+/// Formats a fraction (0..1) as a percentage string, e.g. 0.905 -> "90.5%".
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+/// Formats "mean ± ci" as a percentage pair, e.g. "23.4% ± 2.1%".
+[[nodiscard]] std::string percent_with_ci(double mean, double ci_half_width,
+                                          int digits = 1);
+
+}  // namespace tdfm

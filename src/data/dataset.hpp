@@ -1,0 +1,45 @@
+// Labelled image dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tdfm::data {
+
+/// A labelled image classification dataset, stored densely: images
+/// [N, C, H, W] in [0, 1], integer class labels in [0, num_classes).
+struct Dataset {
+  std::string name;
+  Tensor images;
+  std::vector<int> labels;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::size_t channels() const { return images.dim(1); }
+  [[nodiscard]] std::size_t height() const { return images.dim(2); }
+  [[nodiscard]] std::size_t width() const { return images.dim(3); }
+
+  /// Copies the samples selected by `indices` into a new dataset.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts (length num_classes).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Throws InvariantError if the internal invariants are broken (shape /
+  /// label-range / count mismatches).  Called after fault injection.
+  void validate() const;
+};
+
+/// Splits `ds` into (first, second) where `first` holds `fraction` of the
+/// samples chosen uniformly at random.  Used to reserve the clean subset
+/// for meta label correction (hyperparameter gamma, §III-B2).
+[[nodiscard]] std::pair<Dataset, Dataset> random_split(const Dataset& ds,
+                                                       double fraction, Rng& rng);
+
+/// Concatenates two datasets with identical shape/class metadata.
+[[nodiscard]] Dataset concatenate(const Dataset& a, const Dataset& b);
+
+}  // namespace tdfm::data

@@ -1,0 +1,130 @@
+#include "data/painter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdfm::data {
+
+namespace {
+constexpr float clamp01(float v) { return std::clamp(v, 0.0F, 1.0F); }
+}  // namespace
+
+void Painter::blend(std::size_t x, std::size_t y, Color color, float alpha) {
+  const std::array<float, 3> ch{color.r, color.g, color.b};
+  for (std::size_t c = 0; c < c_; ++c) {
+    float& p = px_[(c * h_ + y) * w_ + x];
+    p = clamp01((1.0F - alpha) * p + alpha * ch[c]);
+  }
+}
+
+void Painter::fill(Color color) {
+  const std::array<float, 3> ch{color.r, color.g, color.b};
+  for (std::size_t c = 0; c < c_; ++c) {
+    std::fill_n(px_ + c * h_ * w_, h_ * w_, clamp01(ch[c]));
+  }
+}
+
+void Painter::vertical_gradient(Color top, Color bottom) {
+  const std::array<float, 3> t{top.r, top.g, top.b};
+  const std::array<float, 3> b{bottom.r, bottom.g, bottom.b};
+  for (std::size_t c = 0; c < c_; ++c) {
+    for (std::size_t y = 0; y < h_; ++y) {
+      const float f = static_cast<float>(y) / static_cast<float>(h_ - 1);
+      const float v = clamp01((1.0F - f) * t[c] + f * b[c]);
+      std::fill_n(px_ + (c * h_ + y) * w_, w_, v);
+    }
+  }
+}
+
+void Painter::rect(float x0, float y0, float x1, float y1, Color color, float alpha) {
+  const auto ix0 = static_cast<std::size_t>(std::max(0.0F, std::floor(x0)));
+  const auto iy0 = static_cast<std::size_t>(std::max(0.0F, std::floor(y0)));
+  const auto ix1 = std::min<std::size_t>(w_, static_cast<std::size_t>(std::max(0.0F, std::ceil(x1))));
+  const auto iy1 = std::min<std::size_t>(h_, static_cast<std::size_t>(std::max(0.0F, std::ceil(y1))));
+  for (std::size_t y = iy0; y < iy1; ++y) {
+    for (std::size_t x = ix0; x < ix1; ++x) blend(x, y, color, alpha);
+  }
+}
+
+void Painter::disc(float cx, float cy, float radius, Color color, float alpha) {
+  const float r2 = radius * radius;
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const float dx = static_cast<float>(x) + 0.5F - cx;
+      const float dy = static_cast<float>(y) + 0.5F - cy;
+      if (dx * dx + dy * dy <= r2) blend(x, y, color, alpha);
+    }
+  }
+}
+
+void Painter::ring(float cx, float cy, float r_inner, float r_outer, Color color,
+                   float alpha) {
+  const float ri2 = r_inner * r_inner;
+  const float ro2 = r_outer * r_outer;
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const float dx = static_cast<float>(x) + 0.5F - cx;
+      const float dy = static_cast<float>(y) + 0.5F - cy;
+      const float d2 = dx * dx + dy * dy;
+      if (d2 >= ri2 && d2 <= ro2) blend(x, y, color, alpha);
+    }
+  }
+}
+
+void Painter::triangle(float cx, float cy, float size, Color color, float alpha) {
+  for (std::size_t y = 0; y < h_; ++y) {
+    const float fy = static_cast<float>(y) + 0.5F;
+    if (fy < cy - size || fy > cy + size) continue;
+    // Width grows linearly from apex (top) to base (bottom).
+    const float frac = (fy - (cy - size)) / (2.0F * size);
+    const float half_width = frac * size;
+    for (std::size_t x = 0; x < w_; ++x) {
+      const float fx = static_cast<float>(x) + 0.5F;
+      if (std::fabs(fx - cx) <= half_width) blend(x, y, color, alpha);
+    }
+  }
+}
+
+void Painter::diamond(float cx, float cy, float size, Color color, float alpha) {
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const float dx = std::fabs(static_cast<float>(x) + 0.5F - cx);
+      const float dy = std::fabs(static_cast<float>(y) + 0.5F - cy);
+      if (dx + dy <= size) blend(x, y, color, alpha);
+    }
+  }
+}
+
+void Painter::stripes(float period, float phase, Color color, float alpha) {
+  TDFM_CHECK(period > 0.0F, "stripe period must be positive");
+  for (std::size_t y = 0; y < h_; ++y) {
+    const float s = std::sin(2.0F * 3.14159265F *
+                             (static_cast<float>(y) + phase) / period);
+    if (s <= 0.0F) continue;
+    for (std::size_t x = 0; x < w_; ++x) blend(x, y, color, alpha * s);
+  }
+}
+
+void Painter::gaussian_blob(float cx, float cy, float sigma, Color color, float gain) {
+  const std::array<float, 3> ch{color.r, color.g, color.b};
+  const float inv = 1.0F / (2.0F * sigma * sigma);
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      const float dx = static_cast<float>(x) + 0.5F - cx;
+      const float dy = static_cast<float>(y) + 0.5F - cy;
+      const float g = gain * std::exp(-(dx * dx + dy * dy) * inv);
+      for (std::size_t c = 0; c < c_; ++c) {
+        float& p = px_[(c * h_ + y) * w_ + x];
+        p = clamp01(p + g * ch[c]);
+      }
+    }
+  }
+}
+
+void Painter::add_noise(float sigma, Rng& rng) {
+  for (std::size_t i = 0; i < c_ * h_ * w_; ++i) {
+    px_[i] = clamp01(px_[i] + rng.normal(0.0F, sigma));
+  }
+}
+
+}  // namespace tdfm::data

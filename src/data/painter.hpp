@@ -1,0 +1,69 @@
+// Low-level procedural drawing onto [C, H, W] float canvases.
+//
+// Shared by the three synthetic dataset generators.  Coordinates are float
+// pixels; all drawing is additive-free (opaque overwrite with optional
+// alpha) and clipped to the canvas.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "core/rng.hpp"
+
+namespace tdfm::data {
+
+/// RGB colour (channel 0..2); for single-channel canvases only r is used.
+struct Color {
+  float r = 0.0F, g = 0.0F, b = 0.0F;
+};
+
+class Painter {
+ public:
+  /// Wraps an externally owned pixel buffer of `channels` planes, each
+  /// h x w, laid out plane-major (the dataset tensor layout).
+  Painter(float* pixels, std::size_t channels, std::size_t h, std::size_t w)
+      : px_(pixels), c_(channels), h_(h), w_(w) {}
+
+  [[nodiscard]] std::size_t height() const { return h_; }
+  [[nodiscard]] std::size_t width() const { return w_; }
+
+  void fill(Color color);
+
+  /// Vertical gradient from `top` to `bottom`.
+  void vertical_gradient(Color top, Color bottom);
+
+  /// Filled axis-aligned rectangle; corners clipped to the canvas.
+  void rect(float x0, float y0, float x1, float y1, Color color, float alpha = 1.0F);
+
+  /// Filled disc.
+  void disc(float cx, float cy, float radius, Color color, float alpha = 1.0F);
+
+  /// Ring (annulus) with the given inner/outer radii.
+  void ring(float cx, float cy, float r_inner, float r_outer, Color color,
+            float alpha = 1.0F);
+
+  /// Filled upward-pointing triangle with apex (cx, cy - size) and base
+  /// y = cy + size.
+  void triangle(float cx, float cy, float size, Color color, float alpha = 1.0F);
+
+  /// Filled diamond (rotated square) of the given half-diagonal.
+  void diamond(float cx, float cy, float size, Color color, float alpha = 1.0F);
+
+  /// Horizontal stripes of the given period and duty cycle, tinted `color`
+  /// with strength alpha.
+  void stripes(float period, float phase, Color color, float alpha);
+
+  /// Soft Gaussian blob (adds intensity, clamped to [0, 1]).
+  void gaussian_blob(float cx, float cy, float sigma, Color color, float gain);
+
+  /// Adds iid N(0, sigma) pixel noise, clamped to [0, 1].
+  void add_noise(float sigma, Rng& rng);
+
+ private:
+  void blend(std::size_t x, std::size_t y, Color color, float alpha);
+
+  float* px_;
+  std::size_t c_, h_, w_;
+};
+
+}  // namespace tdfm::data

@@ -1,0 +1,238 @@
+#include "experiment/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+#include "core/stopwatch.hpp"
+#include "metrics/metrics.hpp"
+#include "mitigation/baseline.hpp"
+
+namespace tdfm::experiment {
+
+std::string StudyConfig::fault_level_name(std::size_t index) const {
+  TDFM_CHECK(index < fault_levels.size(), "fault level index out of range");
+  const FaultLevel& level = fault_levels[index];
+  if (level.empty()) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    if (i) out += "+";
+    out += level[i].to_string();
+  }
+  return out;
+}
+
+std::vector<double> CellResult::ad_samples() const {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const TrialOutcome& t : trials) out.push_back(t.ad);
+  return out;
+}
+
+const CellResult& StudyResult::cell(std::size_t fault_level,
+                                    mitigation::TechniqueKind kind) const {
+  TDFM_CHECK(fault_level < cells.size(), "fault level out of range");
+  for (std::size_t i = 0; i < config.techniques.size(); ++i) {
+    if (config.techniques[i] == kind) return cells[fault_level][i];
+  }
+  throw ConfigError("technique not part of this study");
+}
+
+std::vector<FaultLevel> standard_sweep(faults::FaultType type) {
+  std::vector<FaultLevel> levels;
+  for (const double pct : {10.0, 30.0, 50.0}) {
+    levels.push_back({faults::FaultSpec{type, pct}});
+  }
+  return levels;
+}
+
+namespace {
+
+/// Fills a TrialOutcome from predictions and timings.
+TrialOutcome measure_outcome(std::span<const int> golden_preds,
+                             std::span<const int> preds,
+                             std::span<const int> truth, double golden_acc,
+                             double train_s, double infer_s, double models_used) {
+  TrialOutcome o;
+  o.golden_accuracy = golden_acc;
+  o.train_seconds = train_s;
+  o.infer_seconds = infer_s;
+  o.inference_models = models_used;
+  o.faulty_accuracy = metrics::accuracy(preds, truth);
+  o.ad = metrics::accuracy_delta(golden_preds, preds, truth);
+  o.reverse_ad = metrics::reverse_accuracy_delta(golden_preds, preds, truth);
+  o.naive_drop = metrics::naive_accuracy_drop(golden_preds, preds, truth);
+  return o;
+}
+
+void aggregate_cells(StudyResult& result) {
+  for (auto& row : result.cells) {
+    for (CellResult& cell : row) {
+      std::vector<double> ad, acc, train_s, infer_s;
+      for (const TrialOutcome& t : cell.trials) {
+        ad.push_back(t.ad);
+        acc.push_back(t.faulty_accuracy);
+        train_s.push_back(t.train_seconds);
+        infer_s.push_back(t.infer_seconds);
+      }
+      cell.ad = summarize(ad);
+      cell.faulty_accuracy = summarize(acc);
+      cell.train_seconds = summarize(train_s);
+      cell.infer_seconds = summarize(infer_s);
+      cell.inference_models =
+          cell.trials.empty() ? 1.0 : cell.trials.front().inference_models;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<StudyResult> run_multi_model_study(const StudyConfig& proto,
+                                               std::span<const models::Arch> archs) {
+  TDFM_CHECK(proto.trials > 0, "study needs at least one trial");
+  TDFM_CHECK(!proto.techniques.empty(), "study needs at least one technique");
+  TDFM_CHECK(!proto.fault_levels.empty(), "study needs at least one fault level");
+  TDFM_CHECK(!archs.empty(), "study needs at least one architecture");
+
+  data::SyntheticSpec spec = proto.dataset;
+  spec.seed = proto.seed ^ 0x5eedDa7aULL;
+  const data::TrainTestPair dataset = data::generate(spec);
+  const models::ModelConfig model_config =
+      models::ModelConfig::for_dataset(spec, proto.model_width);
+
+  std::vector<StudyResult> results(archs.size());
+  std::vector<std::vector<double>> golden_acc(archs.size());
+  std::vector<std::vector<double>> golden_train(archs.size());
+  std::vector<std::vector<double>> golden_infer(archs.size());
+  for (std::size_t a = 0; a < archs.size(); ++a) {
+    results[a].config = proto;
+    results[a].config.model = archs[a];
+    results[a].cells.assign(proto.fault_levels.size(),
+                            std::vector<CellResult>(proto.techniques.size()));
+  }
+
+  Rng master(proto.seed);
+  for (std::size_t trial = 0; trial < proto.trials; ++trial) {
+    Rng trial_rng = master.fork(trial + 1);
+
+    // --- Golden models: each architecture on clean data, no technique.
+    std::vector<std::vector<int>> golden_preds(archs.size());
+    std::vector<double> golden_accuracy(archs.size());
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      mitigation::BaselineTechnique golden_technique;
+      mitigation::FitContext ctx;
+      ctx.train = &dataset.train;
+      ctx.primary_arch = archs[a];
+      ctx.model_config = model_config;
+      ctx.train_opts = proto.train_opts;
+      Rng golden_rng = trial_rng.fork(11 + a);
+      ctx.rng = &golden_rng;
+      Stopwatch train_watch;
+      const auto golden = golden_technique.fit(ctx);
+      golden_train[a].push_back(train_watch.elapsed_seconds());
+      Stopwatch infer_watch;
+      golden_preds[a] = golden->predict(dataset.test.images);
+      golden_infer[a].push_back(infer_watch.elapsed_seconds());
+      golden_accuracy[a] =
+          metrics::accuracy(golden_preds[a], dataset.test.labels);
+      golden_acc[a].push_back(golden_accuracy[a]);
+      TDFM_LOG(kInfo) << dataset.train.name << " " << models::arch_name(archs[a])
+                      << " trial " << trial + 1 << ": golden acc "
+                      << golden_accuracy[a];
+    }
+
+    // --- Fault levels x techniques.
+    for (std::size_t fl = 0; fl < proto.fault_levels.size(); ++fl) {
+      const FaultLevel& faults_at_level = proto.fault_levels[fl];
+      Rng inject_rng = trial_rng.fork(1000 + fl);
+      const data::Dataset faulty =
+          faults::inject(dataset.train, faults_at_level, inject_rng);
+
+      for (std::size_t ti = 0; ti < proto.techniques.size(); ++ti) {
+        const auto kind = proto.techniques[ti];
+
+        if (kind == mitigation::TechniqueKind::kEnsemble) {
+          // The ensemble's member set does not depend on the panel model:
+          // train once, measure against every panel's golden predictions.
+          auto technique = mitigation::make_technique(kind, proto.hyperparams);
+          mitigation::FitContext ctx;
+          ctx.train = &faulty;
+          ctx.primary_arch = archs.front();
+          ctx.model_config = model_config;
+          ctx.train_opts = proto.train_opts;
+          Rng fit_rng = trial_rng.fork(4000 + fl * 101 + ti);
+          ctx.rng = &fit_rng;
+          Stopwatch fit_watch;
+          const auto classifier = technique->fit(ctx);
+          const double train_s = fit_watch.elapsed_seconds();
+          Stopwatch predict_watch;
+          const std::vector<int> preds = classifier->predict(dataset.test.images);
+          const double infer_s = predict_watch.elapsed_seconds();
+          for (std::size_t a = 0; a < archs.size(); ++a) {
+            results[a].cells[fl][ti].trials.push_back(measure_outcome(
+                golden_preds[a], preds, dataset.test.labels, golden_accuracy[a],
+                train_s, infer_s, classifier->inference_model_count()));
+          }
+          continue;
+        }
+
+        for (std::size_t a = 0; a < archs.size(); ++a) {
+          auto technique = mitigation::make_technique(kind, proto.hyperparams);
+          mitigation::FitContext ctx;
+          ctx.primary_arch = archs[a];
+          ctx.model_config = model_config;
+          ctx.train_opts = proto.train_opts;
+
+          // Meta label correction gets its clean subset reserved *before*
+          // injection; the remaining data receives the same fault campaign.
+          data::Dataset lc_clean;
+          data::Dataset lc_noisy;
+          if (technique->wants_clean_subset()) {
+            Rng split_rng = trial_rng.fork(2000 + fl);
+            auto [head, rest] = data::random_split(
+                dataset.train, proto.hyperparams.lc_gamma, split_rng);
+            lc_clean = std::move(head);
+            Rng lc_inject_rng = trial_rng.fork(3000 + fl);
+            lc_noisy = faults::inject(rest, faults_at_level, lc_inject_rng);
+            ctx.train = &lc_noisy;
+            ctx.clean_subset = &lc_clean;
+          } else {
+            ctx.train = &faulty;
+          }
+
+          Rng fit_rng = trial_rng.fork(4000 + fl * 101 + ti * 7 + a);
+          ctx.rng = &fit_rng;
+          Stopwatch fit_watch;
+          const auto classifier = technique->fit(ctx);
+          const double train_s = fit_watch.elapsed_seconds();
+          Stopwatch predict_watch;
+          const std::vector<int> preds = classifier->predict(dataset.test.images);
+          const double infer_s = predict_watch.elapsed_seconds();
+          const TrialOutcome outcome = measure_outcome(
+              golden_preds[a], preds, dataset.test.labels, golden_accuracy[a],
+              train_s, infer_s, classifier->inference_model_count());
+          TDFM_LOG(kInfo) << "  " << models::arch_name(archs[a]) << " "
+                          << proto.fault_level_name(fl) << " "
+                          << mitigation::technique_name(kind) << ": acc "
+                          << outcome.faulty_accuracy << ", AD " << outcome.ad;
+          results[a].cells[fl][ti].trials.push_back(outcome);
+        }
+      }
+    }
+  }
+
+  for (std::size_t a = 0; a < archs.size(); ++a) {
+    results[a].golden_accuracy = summarize(golden_acc[a]);
+    results[a].golden_train_seconds = summarize(golden_train[a]);
+    results[a].golden_infer_seconds = summarize(golden_infer[a]);
+    aggregate_cells(results[a]);
+  }
+  return results;
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  const models::Arch archs[] = {config.model};
+  auto results = run_multi_model_study(config, archs);
+  return std::move(results.front());
+}
+
+}  // namespace tdfm::experiment

@@ -1,0 +1,100 @@
+// Experiment harness implementing the paper's measurement pipeline (Fig. 2).
+//
+// A *study* fixes a dataset and a primary model, then sweeps fault levels x
+// techniques over repeated trials.  Per trial:
+//   1. train the golden model (no technique) on clean data;
+//   2. for each fault level, inject faults into the training data;
+//   3. for each technique, fit on the faulty data and measure AD against
+//      the trial's golden predictions (plus accuracy and runtime overheads).
+// The golden model is shared across techniques and fault levels within a
+// trial, exactly as in the paper (§IV: "We first train each model with
+// fault-free training data to obtain a golden model, and then train the
+// same model, applying each TDFM technique, with fault injected data").
+//
+// For meta label correction the harness reserves the clean subset *before*
+// injection (§III-B2) — fraction gamma of the training data is excluded
+// from fault injection and handed to the technique.
+#pragma once
+
+#include <vector>
+
+#include "core/statistics.hpp"
+#include "faults/fault_injector.hpp"
+#include "mitigation/registry.hpp"
+
+namespace tdfm::experiment {
+
+/// One fault level = a list of fault campaigns applied in order (single
+/// entry for the paper's main sweeps; two entries for §IV-C combinations;
+/// empty for no-injection baselines like Table IV).
+using FaultLevel = std::vector<faults::FaultSpec>;
+
+struct StudyConfig {
+  data::SyntheticSpec dataset;
+  models::Arch model = models::Arch::kResNet50;
+  std::vector<mitigation::TechniqueKind> techniques = mitigation::all_techniques();
+  std::vector<FaultLevel> fault_levels;
+  std::size_t trials = 3;
+  nn::TrainOptions train_opts;
+  mitigation::Hyperparameters hyperparams;
+  std::size_t model_width = 8;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::string fault_level_name(std::size_t index) const;
+};
+
+/// Raw per-trial measurements for one (fault level, technique) cell.
+struct TrialOutcome {
+  double golden_accuracy = 0.0;
+  double faulty_accuracy = 0.0;
+  double ad = 0.0;
+  double reverse_ad = 0.0;
+  double naive_drop = 0.0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double inference_models = 1.0;
+};
+
+/// Aggregated cell: one (fault level, technique) pair over all trials.
+struct CellResult {
+  SampleStats ad;
+  SampleStats faulty_accuracy;
+  SampleStats train_seconds;
+  SampleStats infer_seconds;
+  double inference_models = 1.0;
+  std::vector<TrialOutcome> trials;
+
+  [[nodiscard]] std::vector<double> ad_samples() const;
+};
+
+struct StudyResult {
+  StudyConfig config;
+  SampleStats golden_accuracy;
+  SampleStats golden_train_seconds;
+  SampleStats golden_infer_seconds;
+  /// cells[fault_level][technique_index] in config order.
+  std::vector<std::vector<CellResult>> cells;
+
+  [[nodiscard]] const CellResult& cell(std::size_t fault_level,
+                                       mitigation::TechniqueKind kind) const;
+};
+
+/// Runs the full study; deterministic in config.seed.
+[[nodiscard]] StudyResult run_study(const StudyConfig& config);
+
+/// Runs one study per architecture in `archs`, sharing work that does not
+/// depend on the panel model: the dataset, the per-trial fault injections,
+/// and — crucially — the ensemble technique, whose member set is fixed
+/// (§IV) and therefore identical across panels.  Ensemble classifiers are
+/// trained once per (trial, fault level) and measured against each panel
+/// model's golden predictions, cutting Fig. 3-style multi-panel runs by
+/// nearly one ensemble training per extra panel.  Results are identical in
+/// distribution to calling run_study per model.
+[[nodiscard]] std::vector<StudyResult> run_multi_model_study(
+    const StudyConfig& proto, std::span<const models::Arch> archs);
+
+/// Convenience: the paper's standard fault sweep for one type —
+/// {10%, 30%, 50%} of the given kind.
+[[nodiscard]] std::vector<FaultLevel> standard_sweep(faults::FaultType type);
+
+}  // namespace tdfm::experiment

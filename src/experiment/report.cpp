@@ -1,0 +1,128 @@
+#include "experiment/report.hpp"
+
+#include <sstream>
+
+#include "core/table.hpp"
+
+namespace tdfm::experiment {
+
+namespace {
+
+std::vector<std::string> technique_header(const StudyResult& r,
+                                          const std::string& first) {
+  std::vector<std::string> header{first};
+  for (const auto kind : r.config.techniques) {
+    header.emplace_back(mitigation::technique_name(kind));
+  }
+  return header;
+}
+
+}  // namespace
+
+std::string render_ad_table(const StudyResult& r, const std::string& title) {
+  AsciiTable table(technique_header(r, "faults \\ AD"));
+  for (std::size_t fl = 0; fl < r.cells.size(); ++fl) {
+    std::vector<std::string> row{r.config.fault_level_name(fl)};
+    for (const CellResult& cell : r.cells[fl]) {
+      row.push_back(percent_with_ci(cell.ad.mean, cell.ad.ci95_half_width));
+    }
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << title << "  (golden acc "
+     << percent(r.golden_accuracy.mean) << ", " << r.config.trials
+     << " trials; lower AD is better)\n"
+     << table.render();
+  return os.str();
+}
+
+std::string render_accuracy_table(const StudyResult& r, const std::string& title) {
+  AsciiTable table(technique_header(r, "faults \\ acc"));
+  for (std::size_t fl = 0; fl < r.cells.size(); ++fl) {
+    std::vector<std::string> row{r.config.fault_level_name(fl)};
+    for (const CellResult& cell : r.cells[fl]) {
+      row.push_back(percent(cell.faulty_accuracy.mean, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  std::ostringstream os;
+  os << title << "  (plain-model accuracy " << percent(r.golden_accuracy.mean, 0)
+     << ")\n"
+     << table.render();
+  return os.str();
+}
+
+std::string render_overhead_table(const StudyResult& r, const std::string& title) {
+  // Normalise against the baseline technique at the same fault level.
+  std::size_t base_idx = r.config.techniques.size();
+  for (std::size_t i = 0; i < r.config.techniques.size(); ++i) {
+    if (r.config.techniques[i] == mitigation::TechniqueKind::kBaseline) {
+      base_idx = i;
+    }
+  }
+  TDFM_CHECK(base_idx < r.config.techniques.size(),
+             "overhead table needs the baseline technique in the study");
+  AsciiTable table({"technique", "train time", "train overhead", "infer time",
+                    "infer overhead", "models at inference"});
+  for (std::size_t fl = 0; fl < r.cells.size(); ++fl) {
+    const CellResult& base = r.cells[fl][base_idx];
+    for (std::size_t ti = 0; ti < r.config.techniques.size(); ++ti) {
+      const CellResult& cell = r.cells[fl][ti];
+      const double train_x =
+          base.train_seconds.mean > 0 ? cell.train_seconds.mean / base.train_seconds.mean
+                                      : 0.0;
+      const double infer_x =
+          base.infer_seconds.mean > 0 ? cell.infer_seconds.mean / base.infer_seconds.mean
+                                      : 0.0;
+      table.add_row({std::string(mitigation::technique_name(r.config.techniques[ti])),
+                     fixed(cell.train_seconds.mean, 2) + "s", fixed(train_x, 2) + "x",
+                     fixed(cell.infer_seconds.mean * 1e3, 1) + "ms",
+                     fixed(infer_x, 2) + "x", fixed(cell.inference_models, 0)});
+    }
+  }
+  std::ostringstream os;
+  os << title << "\n" << table.render();
+  return os.str();
+}
+
+std::string render_winners(const StudyResult& r) {
+  std::ostringstream os;
+  for (std::size_t fl = 0; fl < r.cells.size(); ++fl) {
+    std::size_t best = 0;
+    // Skip the baseline when picking the most resilient *technique*.
+    double best_ad = std::numeric_limits<double>::infinity();
+    for (std::size_t ti = 0; ti < r.config.techniques.size(); ++ti) {
+      if (r.config.techniques[ti] == mitigation::TechniqueKind::kBaseline) continue;
+      if (r.cells[fl][ti].ad.mean < best_ad) {
+        best_ad = r.cells[fl][ti].ad.mean;
+        best = ti;
+      }
+    }
+    os << "  most resilient at " << r.config.fault_level_name(fl) << ": "
+       << mitigation::technique_name(r.config.techniques[best]) << " (AD "
+       << percent(best_ad) << ")\n";
+  }
+  return os.str();
+}
+
+std::string render_csv(const StudyResult& r) {
+  std::ostringstream os;
+  os << "dataset,model,faults,technique,ad_mean,ad_ci95,acc_mean,train_s,infer_s,"
+        "inference_models,golden_acc\n";
+  for (std::size_t fl = 0; fl < r.cells.size(); ++fl) {
+    for (std::size_t ti = 0; ti < r.config.techniques.size(); ++ti) {
+      const CellResult& cell = r.cells[fl][ti];
+      os << data::dataset_name(r.config.dataset.kind) << ','
+         << models::arch_name(r.config.model) << ','
+         << r.config.fault_level_name(fl) << ','
+         << mitigation::technique_name(r.config.techniques[ti]) << ','
+         << cell.ad.mean << ',' << cell.ad.ci95_half_width << ','
+         << cell.faulty_accuracy.mean << ',' << cell.train_seconds.mean << ','
+         << cell.infer_seconds.mean << ',' << cell.inference_models << ','
+         << r.golden_accuracy.mean << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tdfm::experiment

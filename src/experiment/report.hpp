@@ -1,0 +1,32 @@
+// Report rendering for study results — paper-style tables on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "experiment/experiment.hpp"
+
+namespace tdfm::experiment {
+
+/// Renders a figure-style AD table: rows = fault levels, columns =
+/// techniques, cells = "mean% ± ci%".  Mirrors one panel of Figs. 3/4.
+[[nodiscard]] std::string render_ad_table(const StudyResult& result,
+                                          const std::string& title);
+
+/// Renders a Table-IV-style accuracy row set for one study (single fault
+/// level, usually "none"): columns = techniques, cells = accuracy.
+[[nodiscard]] std::string render_accuracy_table(const StudyResult& result,
+                                                const std::string& title);
+
+/// Renders the §IV-E overhead analysis: training and inference time of each
+/// technique normalised to the baseline cell of the same fault level.
+[[nodiscard]] std::string render_overhead_table(const StudyResult& result,
+                                                const std::string& title);
+
+/// One-line summary of the best (lowest mean AD) technique per fault level.
+[[nodiscard]] std::string render_winners(const StudyResult& result);
+
+/// CSV dump (one row per fault level x technique) for downstream plotting.
+[[nodiscard]] std::string render_csv(const StudyResult& result);
+
+}  // namespace tdfm::experiment

@@ -1,0 +1,100 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tdfm::metrics {
+
+namespace {
+void check_aligned(std::span<const int> a, std::span<const int> b) {
+  TDFM_CHECK(a.size() == b.size(), "prediction/label spans must align");
+  TDFM_CHECK(!a.empty(), "metrics need at least one sample");
+}
+}  // namespace
+
+double accuracy(std::span<const int> predictions, std::span<const int> truth) {
+  check_aligned(predictions, truth);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predictions[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::vector<double> per_class_accuracy(std::span<const int> predictions,
+                                       std::span<const int> truth,
+                                       std::size_t num_classes) {
+  check_aligned(predictions, truth);
+  std::vector<std::size_t> correct(num_classes, 0);
+  std::vector<std::size_t> total(num_classes, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = static_cast<std::size_t>(truth[i]);
+    TDFM_CHECK(t < num_classes, "label out of range");
+    ++total[t];
+    if (predictions[i] == truth[i]) ++correct[t];
+  }
+  std::vector<double> out(num_classes, 0.0);
+  for (std::size_t k = 0; k < num_classes; ++k) {
+    if (total[k] > 0) {
+      out[k] = static_cast<double>(correct[k]) / static_cast<double>(total[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> confusion_matrix(std::span<const int> predictions,
+                                          std::span<const int> truth,
+                                          std::size_t num_classes) {
+  check_aligned(predictions, truth);
+  std::vector<std::size_t> cm(num_classes * num_classes, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = static_cast<std::size_t>(truth[i]);
+    const auto p = static_cast<std::size_t>(predictions[i]);
+    TDFM_CHECK(t < num_classes && p < num_classes, "class id out of range");
+    ++cm[t * num_classes + p];
+  }
+  return cm;
+}
+
+double accuracy_delta(std::span<const int> golden_predictions,
+                      std::span<const int> faulty_predictions,
+                      std::span<const int> truth) {
+  check_aligned(golden_predictions, truth);
+  check_aligned(faulty_predictions, truth);
+  std::size_t golden_correct = 0;
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (golden_predictions[i] != truth[i]) continue;
+    ++golden_correct;
+    if (faulty_predictions[i] != truth[i]) ++degraded;
+  }
+  if (golden_correct == 0) return 0.0;
+  return static_cast<double>(degraded) / static_cast<double>(golden_correct);
+}
+
+double reverse_accuracy_delta(std::span<const int> golden_predictions,
+                              std::span<const int> faulty_predictions,
+                              std::span<const int> truth) {
+  check_aligned(golden_predictions, truth);
+  check_aligned(faulty_predictions, truth);
+  std::size_t golden_wrong = 0;
+  std::size_t recovered = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (golden_predictions[i] == truth[i]) continue;
+    ++golden_wrong;
+    if (faulty_predictions[i] == truth[i]) ++recovered;
+  }
+  if (golden_wrong == 0) return 0.0;
+  return static_cast<double>(recovered) / static_cast<double>(golden_wrong);
+}
+
+double naive_accuracy_drop(std::span<const int> golden_predictions,
+                           std::span<const int> faulty_predictions,
+                           std::span<const int> truth) {
+  const double g = accuracy(golden_predictions, truth);
+  const double f = accuracy(faulty_predictions, truth);
+  return std::max(0.0, g - f);
+}
+
+}  // namespace tdfm::metrics

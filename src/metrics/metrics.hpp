@@ -1,0 +1,50 @@
+// Reliability metrics (§III-C).
+//
+// The paper's central metric is the Accuracy Delta (AD): the proportion of
+// test images misclassified by the faulty model *out of those the golden
+// model classified correctly*.  Unlike a raw accuracy drop, AD does not
+// double-count images that both models get wrong, isolating the effect of
+// the injected training-data faults.  Lower AD = more resilient.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tdfm::metrics {
+
+/// Fraction of predictions equal to the true label.
+[[nodiscard]] double accuracy(std::span<const int> predictions,
+                              std::span<const int> truth);
+
+/// Per-class accuracy; classes absent from `truth` report 0.
+[[nodiscard]] std::vector<double> per_class_accuracy(std::span<const int> predictions,
+                                                     std::span<const int> truth,
+                                                     std::size_t num_classes);
+
+/// Row-major confusion matrix: entry [t * K + p] counts samples of true
+/// class t predicted as p.
+[[nodiscard]] std::vector<std::size_t> confusion_matrix(
+    std::span<const int> predictions, std::span<const int> truth,
+    std::size_t num_classes);
+
+/// Accuracy Delta per §III-C:
+///   AD = |{i : golden correct AND faulty wrong}| / |{i : golden correct}|.
+/// Returns 0 when the golden model classified nothing correctly.
+[[nodiscard]] double accuracy_delta(std::span<const int> golden_predictions,
+                                    std::span<const int> faulty_predictions,
+                                    std::span<const int> truth);
+
+/// The symmetric counterpart (golden wrong AND faulty correct, over golden
+/// wrong) — the paper reports this quantity is insignificant; we expose it
+/// so the claim can be checked (bench_overhead verbose mode, tests).
+[[nodiscard]] double reverse_accuracy_delta(std::span<const int> golden_predictions,
+                                            std::span<const int> faulty_predictions,
+                                            std::span<const int> truth);
+
+/// Naive accuracy drop max(0, acc_golden - acc_faulty); the ablation foil
+/// for AD discussed in DESIGN.md §5.
+[[nodiscard]] double naive_accuracy_drop(std::span<const int> golden_predictions,
+                                         std::span<const int> faulty_predictions,
+                                         std::span<const int> truth);
+
+}  // namespace tdfm::metrics

@@ -1,0 +1,14 @@
+// Unprotected baseline: plain cross-entropy training, no mitigation.
+#pragma once
+
+#include "mitigation/technique.hpp"
+
+namespace tdfm::mitigation {
+
+class BaselineTechnique final : public Technique {
+ public:
+  [[nodiscard]] std::string name() const override { return "Base"; }
+  [[nodiscard]] std::unique_ptr<Classifier> fit(const FitContext& ctx) override;
+};
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,43 @@
+// Trained classifier abstraction returned by TDFM techniques.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/trainer.hpp"
+
+namespace tdfm::mitigation {
+
+/// A fitted classifier.  Single networks and ensembles share this interface
+/// so the experiment harness measures them identically.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Predicts a class id for every image in [N, C, H, W].
+  [[nodiscard]] virtual std::vector<int> predict(const Tensor& images) = 0;
+
+  /// Number of model evaluations per inference (1 for single models, n for
+  /// ensembles) — the inference-overhead factor of §IV-E.
+  [[nodiscard]] virtual double inference_model_count() const { return 1.0; }
+};
+
+/// Wraps one trained network.
+class SingleModelClassifier final : public Classifier {
+ public:
+  explicit SingleModelClassifier(std::unique_ptr<nn::Network> net)
+      : net_(std::move(net)) {
+    TDFM_CHECK(net_ != nullptr, "classifier needs a network");
+  }
+
+  std::vector<int> predict(const Tensor& images) override {
+    return nn::predict_classes(*net_, images);
+  }
+
+  [[nodiscard]] nn::Network& network() { return *net_; }
+
+ private:
+  std::unique_ptr<nn::Network> net_;
+};
+
+}  // namespace tdfm::mitigation

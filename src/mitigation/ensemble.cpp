@@ -1,0 +1,67 @@
+#include "mitigation/ensemble.hpp"
+
+#include "nn/loss.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm::mitigation {
+
+std::vector<int> EnsembleClassifier::predict(const Tensor& images) {
+  const std::size_t n = images.dim(0);
+  const std::size_t k = members_.front()->num_classes();
+  std::vector<std::size_t> votes(n * k, 0);
+  std::vector<float> confidence(n * k, 0.0F);
+  for (const auto& member : members_) {
+    const Tensor probs = nn::predict_probabilities(*member, images);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = probs.row(i);
+      ++votes[i * k + argmax(row)];
+      for (std::size_t j = 0; j < k; ++j) confidence[i * k + j] += row[j];
+    }
+  }
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Majority vote; ties (and only ties) fall back to summed confidence.
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      const std::size_t vj = votes[i * k + j];
+      const std::size_t vb = votes[i * k + best];
+      if (vj > vb || (vj == vb && confidence[i * k + j] > confidence[i * k + best])) {
+        best = j;
+      }
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+EnsembleTechnique::EnsembleTechnique(std::vector<models::Arch> members)
+    : members_(std::move(members)) {
+  TDFM_CHECK(!members_.empty(), "ensemble needs at least one member");
+}
+
+std::vector<models::Arch> EnsembleTechnique::default_members() {
+  using models::Arch;
+  return {Arch::kConvNet, Arch::kMobileNet, Arch::kResNet18, Arch::kVGG11,
+          Arch::kVGG16};
+}
+
+std::unique_ptr<Classifier> EnsembleTechnique::fit(const FitContext& ctx) {
+  ctx.validate();
+  auto targets = std::make_shared<Tensor>(
+      nn::one_hot(ctx.train->labels, ctx.train->num_classes));
+  std::vector<std::unique_ptr<nn::Network>> trained;
+  trained.reserve(members_.size());
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    Rng model_rng = ctx.rng->fork(0xe500u + m);
+    auto net = models::build_model(members_[m], ctx.model_config, model_rng);
+    nn::Trainer trainer(ctx.options_for(members_[m]));
+    Rng train_rng = ctx.rng->fork(0x7171u + m);
+    trainer.fit(*net, ctx.train->images,
+                make_target_loss(std::make_shared<nn::CrossEntropyLoss>(), targets),
+                train_rng);
+    trained.push_back(std::move(net));
+  }
+  return std::make_unique<EnsembleClassifier>(std::move(trained));
+}
+
+}  // namespace tdfm::mitigation

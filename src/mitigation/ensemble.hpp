@@ -1,0 +1,52 @@
+// Ensemble learning technique (§III-B5).
+//
+// Trains n diverse architectures on the same (faulty) data and combines
+// their inference-time predictions by simple majority vote (ties broken by
+// summed softmax confidence).  The paper's ensemble is the five models with
+// the lowest baseline AD: ConvNet, MobileNet, ResNet18, VGG11, VGG16 (§IV);
+// that is the default member set here.  Training overhead ~n x, inference
+// overhead n x (§IV-E).
+#pragma once
+
+#include "mitigation/technique.hpp"
+
+namespace tdfm::mitigation {
+
+/// Classifier over multiple trained member networks.
+class EnsembleClassifier final : public Classifier {
+ public:
+  explicit EnsembleClassifier(std::vector<std::unique_ptr<nn::Network>> members)
+      : members_(std::move(members)) {
+    TDFM_CHECK(!members_.empty(), "ensemble needs at least one member");
+  }
+
+  std::vector<int> predict(const Tensor& images) override;
+
+  [[nodiscard]] double inference_model_count() const override {
+    return static_cast<double>(members_.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] nn::Network& member(std::size_t i) { return *members_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<nn::Network>> members_;
+};
+
+class EnsembleTechnique final : public Technique {
+ public:
+  /// Default member set = the paper's five lowest-baseline-AD models.
+  explicit EnsembleTechnique(std::vector<models::Arch> members = default_members());
+
+  [[nodiscard]] static std::vector<models::Arch> default_members();
+
+  [[nodiscard]] std::string name() const override { return "Ens"; }
+  [[nodiscard]] std::unique_ptr<Classifier> fit(const FitContext& ctx) override;
+
+  [[nodiscard]] const std::vector<models::Arch>& members() const { return members_; }
+
+ private:
+  std::vector<models::Arch> members_;
+};
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,54 @@
+#include "mitigation/knowledge_distillation.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace tdfm::mitigation {
+
+std::unique_ptr<Classifier> KnowledgeDistillationTechnique::fit(
+    const FitContext& ctx) {
+  ctx.validate();
+
+  // Phase 1: teacher (same architecture — self distillation) on hard labels.
+  Rng teacher_rng = ctx.rng->fork(0x7eacu);
+  auto teacher = models::build_model(ctx.primary_arch, ctx.model_config, teacher_rng);
+  auto hard_targets = std::make_shared<Tensor>(
+      nn::one_hot(ctx.train->labels, ctx.train->num_classes));
+  {
+    nn::Trainer trainer(ctx.options_for(ctx.primary_arch));
+    Rng train_rng = ctx.rng->fork(0x7161u);
+    trainer.fit(*teacher, ctx.train->images,
+                make_target_loss(std::make_shared<nn::CrossEntropyLoss>(), hard_targets),
+                train_rng);
+  }
+
+  // Capture the teacher's distilled (temperature-T) softmax over the
+  // training set once; the teacher is frozen from here on.
+  const auto teacher_probs = std::make_shared<Tensor>(
+      nn::predict_probabilities(*teacher, ctx.train->images, temperature_));
+
+  // Phase 2: student trained on the alpha-weighted hard + distilled loss,
+  // for a reduced number of epochs (it "trains faster than the parent").
+  Rng student_rng = ctx.rng->fork(0x57d7u);
+  auto student = models::build_model(ctx.primary_arch, ctx.model_config, student_rng);
+  nn::TrainOptions student_opts = ctx.options_for(ctx.primary_arch);
+  student_opts.epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             static_cast<double>(ctx.train_opts.epochs) * student_epoch_factor_)));
+  const auto kd_loss = std::make_shared<nn::DistillationLoss>(alpha_, temperature_);
+  nn::BatchLossFn loss_fn = [kd_loss, hard_targets, teacher_probs](
+                                const Tensor& logits,
+                                std::span<const std::size_t> idx,
+                                Tensor& grad_logits) {
+    const Tensor hard = nn::Trainer::gather(*hard_targets, idx);
+    const Tensor soft = nn::Trainer::gather(*teacher_probs, idx);
+    return kd_loss->compute(logits, hard, soft, grad_logits);
+  };
+  nn::Trainer trainer(student_opts);
+  Rng train_rng = ctx.rng->fork(0x7162u);
+  trainer.fit(*student, ctx.train->images, std::move(loss_fn), train_rng);
+  return std::make_unique<SingleModelClassifier>(std::move(student));
+}
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,39 @@
+// Meta label correction technique (§III-B2), after Zheng et al. [17].
+//
+// Two networks train simultaneously: the *primary* model performs the
+// classification task, while a *secondary* model learns — from a clean
+// subset reserved from fault injection (fraction gamma) — to map the
+// primary's predicted distribution plus the provided (possibly wrong) label
+// to a corrected label distribution.  Between epochs the secondary refreshes
+// the soft targets the primary trains on.
+//
+// The secondary is a multilayer perceptron over [primary probs ‖ one-hot
+// given label] (2K inputs, K outputs).  As the paper observes (§IV-D), this
+// MLP degrades as the class count grows — the 43-class GTSRB overwhelms it
+// while 10-class CIFAR and 2-class Pneumonia remain tractable — and acts as
+// an additional soft loss that hurts shallow primaries (§IV-B).
+#pragma once
+
+#include "mitigation/technique.hpp"
+
+namespace tdfm::mitigation {
+
+class LabelCorrectionTechnique final : public Technique {
+ public:
+  explicit LabelCorrectionTechnique(double gamma = 0.1, std::size_t hidden = 32,
+                                    std::size_t secondary_steps = 8)
+      : gamma_(gamma), hidden_(hidden), secondary_steps_(secondary_steps) {}
+
+  [[nodiscard]] std::string name() const override { return "LC"; }
+  [[nodiscard]] std::unique_ptr<Classifier> fit(const FitContext& ctx) override;
+  [[nodiscard]] bool wants_clean_subset() const override { return true; }
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+  std::size_t hidden_;
+  std::size_t secondary_steps_;
+};
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,26 @@
+#include "mitigation/label_smoothing.hpp"
+
+#include "nn/loss.hpp"
+
+namespace tdfm::mitigation {
+
+std::unique_ptr<Classifier> LabelSmoothingTechnique::fit(const FitContext& ctx) {
+  ctx.validate();
+  Rng model_rng = ctx.rng->fork(0x15u);
+  auto net = models::build_model(ctx.primary_arch, ctx.model_config, model_rng);
+  auto targets = std::make_shared<Tensor>(
+      nn::one_hot(ctx.train->labels, ctx.train->num_classes));
+  std::shared_ptr<nn::Loss> loss;
+  if (use_relaxation_) {
+    loss = std::make_shared<nn::LabelRelaxationLoss>(alpha_);
+  } else {
+    loss = std::make_shared<nn::SmoothedCrossEntropyLoss>(alpha_);
+  }
+  nn::Trainer trainer(ctx.options_for(ctx.primary_arch));
+  Rng train_rng = ctx.rng->fork(0x7151u);
+  trainer.fit(*net, ctx.train->images, make_target_loss(std::move(loss), targets),
+              train_rng);
+  return std::make_unique<SingleModelClassifier>(std::move(net));
+}
+
+}  // namespace tdfm::mitigation

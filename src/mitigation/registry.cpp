@@ -1,0 +1,67 @@
+#include "mitigation/registry.hpp"
+
+#include "mitigation/baseline.hpp"
+#include "mitigation/ensemble.hpp"
+#include "mitigation/knowledge_distillation.hpp"
+#include "mitigation/label_correction.hpp"
+#include "mitigation/label_smoothing.hpp"
+#include "mitigation/robust_loss.hpp"
+
+namespace tdfm::mitigation {
+
+const char* technique_name(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kBaseline: return "Base";
+    case TechniqueKind::kLabelSmoothing: return "LS";
+    case TechniqueKind::kLabelCorrection: return "LC";
+    case TechniqueKind::kRobustLoss: return "RL";
+    case TechniqueKind::kKnowledgeDistillation: return "KD";
+    case TechniqueKind::kEnsemble: return "Ens";
+  }
+  return "unknown";
+}
+
+TechniqueKind technique_from_name(std::string_view name) {
+  for (const TechniqueKind kind : all_techniques()) {
+    if (name == technique_name(kind)) return kind;
+  }
+  throw ConfigError("unknown technique: " + std::string(name));
+}
+
+std::vector<TechniqueKind> all_techniques() {
+  return {TechniqueKind::kBaseline,   TechniqueKind::kLabelSmoothing,
+          TechniqueKind::kLabelCorrection, TechniqueKind::kRobustLoss,
+          TechniqueKind::kKnowledgeDistillation, TechniqueKind::kEnsemble};
+}
+
+std::vector<TechniqueKind> tdfm_techniques() {
+  return {TechniqueKind::kLabelSmoothing, TechniqueKind::kLabelCorrection,
+          TechniqueKind::kRobustLoss, TechniqueKind::kKnowledgeDistillation,
+          TechniqueKind::kEnsemble};
+}
+
+std::unique_ptr<Technique> make_technique(TechniqueKind kind,
+                                          const Hyperparameters& hp) {
+  switch (kind) {
+    case TechniqueKind::kBaseline:
+      return std::make_unique<BaselineTechnique>();
+    case TechniqueKind::kLabelSmoothing:
+      return std::make_unique<LabelSmoothingTechnique>(hp.ls_alpha,
+                                                       hp.ls_use_relaxation);
+    case TechniqueKind::kLabelCorrection:
+      return std::make_unique<LabelCorrectionTechnique>(hp.lc_gamma, hp.lc_hidden,
+                                                        hp.lc_secondary_steps);
+    case TechniqueKind::kRobustLoss:
+      return std::make_unique<RobustLossTechnique>(hp.rl_alpha, hp.rl_beta);
+    case TechniqueKind::kKnowledgeDistillation:
+      return std::make_unique<KnowledgeDistillationTechnique>(
+          hp.kd_alpha, hp.kd_temperature, hp.kd_student_epoch_factor);
+    case TechniqueKind::kEnsemble:
+      return hp.ens_members.empty()
+                 ? std::make_unique<EnsembleTechnique>()
+                 : std::make_unique<EnsembleTechnique>(hp.ens_members);
+  }
+  throw ConfigError("unknown technique kind");
+}
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,50 @@
+// Technique registry: names, kinds and a configured factory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mitigation/technique.hpp"
+
+namespace tdfm::mitigation {
+
+enum class TechniqueKind {
+  kBaseline,
+  kLabelSmoothing,
+  kLabelCorrection,
+  kRobustLoss,
+  kKnowledgeDistillation,
+  kEnsemble,
+};
+
+[[nodiscard]] const char* technique_name(TechniqueKind kind);
+[[nodiscard]] TechniqueKind technique_from_name(std::string_view name);
+
+/// All six kinds, in the paper's table-column order: Base LS LC RL KD Ens.
+[[nodiscard]] std::vector<TechniqueKind> all_techniques();
+
+/// The five TDFM techniques (without the baseline).
+[[nodiscard]] std::vector<TechniqueKind> tdfm_techniques();
+
+/// Hyperparameters for every technique — defaults follow the values the
+/// respective original papers recommend (§IV: "we used the hyperparameters
+/// recommended by the implementers of the techniques").
+struct Hyperparameters {
+  float ls_alpha = 0.1F;
+  bool ls_use_relaxation = true;
+  double lc_gamma = 0.1;
+  std::size_t lc_hidden = 32;
+  std::size_t lc_secondary_steps = 8;
+  float rl_alpha = 1.0F;
+  float rl_beta = 1.0F;
+  float kd_alpha = 0.9F;
+  float kd_temperature = 4.0F;
+  double kd_student_epoch_factor = 0.5;
+  std::vector<models::Arch> ens_members;  ///< empty -> paper's default five
+};
+
+/// Instantiates a technique of the given kind with the given hyperparameters.
+[[nodiscard]] std::unique_ptr<Technique> make_technique(
+    TechniqueKind kind, const Hyperparameters& hp = {});
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,21 @@
+#include "mitigation/robust_loss.hpp"
+
+#include "nn/loss.hpp"
+
+namespace tdfm::mitigation {
+
+std::unique_ptr<Classifier> RobustLossTechnique::fit(const FitContext& ctx) {
+  ctx.validate();
+  Rng model_rng = ctx.rng->fork(0x21u);
+  auto net = models::build_model(ctx.primary_arch, ctx.model_config, model_rng);
+  auto targets = std::make_shared<Tensor>(
+      nn::one_hot(ctx.train->labels, ctx.train->num_classes));
+  nn::Trainer trainer(ctx.options_for(ctx.primary_arch));
+  Rng train_rng = ctx.rng->fork(0x7121u);
+  trainer.fit(*net, ctx.train->images,
+              make_target_loss(std::make_shared<nn::APLLoss>(alpha_, beta_), targets),
+              train_rng);
+  return std::make_unique<SingleModelClassifier>(std::move(net));
+}
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,22 @@
+// Robust loss technique (§III-B3): Active-Passive Loss of Ma et al. [18],
+// instantiated as alpha * NCE + beta * RCE.
+#pragma once
+
+#include "mitigation/technique.hpp"
+
+namespace tdfm::mitigation {
+
+class RobustLossTechnique final : public Technique {
+ public:
+  explicit RobustLossTechnique(float alpha = 1.0F, float beta = 1.0F)
+      : alpha_(alpha), beta_(beta) {}
+
+  [[nodiscard]] std::string name() const override { return "RL"; }
+  [[nodiscard]] std::unique_ptr<Classifier> fit(const FitContext& ctx) override;
+
+ private:
+  float alpha_;
+  float beta_;
+};
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,33 @@
+#include "mitigation/technique.hpp"
+
+#include "nn/loss.hpp"
+
+namespace tdfm::mitigation {
+
+void FitContext::validate() const {
+  TDFM_CHECK(train != nullptr, "FitContext needs training data");
+  TDFM_CHECK(rng != nullptr, "FitContext needs an Rng");
+  train->validate();
+  TDFM_CHECK(train->num_classes == model_config.num_classes,
+             "dataset/model class count mismatch");
+  TDFM_CHECK(train->channels() == model_config.in_channels,
+             "dataset/model channel mismatch");
+  if (clean_subset != nullptr) {
+    clean_subset->validate();
+    TDFM_CHECK(clean_subset->num_classes == train->num_classes,
+               "clean subset class count mismatch");
+  }
+}
+
+nn::BatchLossFn make_target_loss(std::shared_ptr<nn::Loss> loss,
+                                 std::shared_ptr<Tensor> targets) {
+  TDFM_CHECK(loss != nullptr && targets != nullptr, "null loss or targets");
+  return [loss = std::move(loss), targets = std::move(targets)](
+             const Tensor& logits, std::span<const std::size_t> idx,
+             Tensor& grad_logits) {
+    const Tensor batch_targets = nn::Trainer::gather(*targets, idx);
+    return loss->compute(logits, batch_targets, grad_logits);
+  };
+}
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,78 @@
+// TDFM technique interface (the study's unit of comparison).
+//
+// A Technique receives the (possibly fault-injected) training data plus the
+// architecture under test and returns a fitted Classifier.  The five
+// techniques of the paper — label smoothing, label correction, robust loss,
+// knowledge distillation, ensembles — plus the unprotected baseline all
+// implement this interface, which is what makes the comparison
+// "apples-to-apples": identical data, trainer, and measurement path.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "mitigation/classifier.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/loss.hpp"
+
+namespace tdfm::mitigation {
+
+/// Everything a technique needs to train.
+struct FitContext {
+  /// Fault-injected training data (or clean data for golden runs).
+  const data::Dataset* train = nullptr;
+
+  /// Clean subset reserved from fault injection — only consumed by meta
+  /// label correction (§III-B2: "a clean subset is formed by reserving a
+  /// portion of the training data from fault injection").  Null for other
+  /// techniques, and LC falls back to carving a subset out of `train`
+  /// (degraded: that subset may itself be faulty).
+  const data::Dataset* clean_subset = nullptr;
+
+  /// Architecture under test ("the model" of the paper's figures).  The
+  /// ensemble technique ignores it and trains its fixed member set.
+  models::Arch primary_arch = models::Arch::kConvNet;
+
+  /// Input geometry / width shared by all instantiated models.
+  models::ModelConfig model_config;
+
+  /// Trainer hyperparameters (epochs, lr, batch size).
+  nn::TrainOptions train_opts;
+
+  /// Per-trial random stream; techniques fork it for every model they init.
+  Rng* rng = nullptr;
+
+  /// Trainer options with per-architecture optimiser tuning applied — every
+  /// technique trains each model it instantiates with options_for(arch), so
+  /// ensemble members and distillation students each get the optimiser that
+  /// suits their architecture.
+  [[nodiscard]] nn::TrainOptions options_for(models::Arch arch) const {
+    return models::tuned_options(arch, train_opts);
+  }
+
+  void validate() const;
+};
+
+class Technique {
+ public:
+  virtual ~Technique() = default;
+
+  /// Short label as used in the paper's tables: Base, LS, LC, RL, KD, Ens.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Trains on ctx.train and returns the fitted classifier.
+  [[nodiscard]] virtual std::unique_ptr<Classifier> fit(const FitContext& ctx) = 0;
+
+  /// Whether the technique consumes the reserved clean subset (LC only);
+  /// the harness uses this to decide how to split before injection.
+  [[nodiscard]] virtual bool wants_clean_subset() const { return false; }
+};
+
+/// Builds a BatchLossFn that serves per-sample rows of `targets` [N, K] to
+/// the given loss.  Most techniques are "a different loss over (possibly
+/// transformed) targets"; this is their shared plumbing.
+[[nodiscard]] nn::BatchLossFn make_target_loss(std::shared_ptr<nn::Loss> loss,
+                                               std::shared_ptr<Tensor> targets);
+
+}  // namespace tdfm::mitigation

@@ -1,0 +1,81 @@
+// Model zoo: the seven architectures of Table III.
+//
+// Each model is a width- and resolution-scaled analogue of the paper's
+// network, preserving the architectural *motifs* the study leans on:
+//
+//   | Name      | Depth    | Summary (paper)              | Here            |
+//   |-----------|----------|------------------------------|-----------------|
+//   | ConvNet   | moderate | 3 conv + 3 FC + max pool     | same counts     |
+//   | DeconvNet | moderate | 4 conv + 2 FC w/ 0.5 dropout | same counts     |
+//   | VGG11     | deep     | stacked conv + 3 FC          | 8 conv + 3 FC   |
+//   | VGG16     | deep     | 13 conv + 3 FC + max pool    | 13 conv + 3 FC  |
+//   | ResNet18  | deep     | 17 conv + 1 FC + avg pool    | 17 conv + 1 FC  |
+//   | MobileNet | deep     | 27 conv + 1 FC + avg pool    | 27 conv + 1 FC  |
+//   | ResNet50  | deep     | 49 conv + 1 FC + avg pool    | 49 conv + 1 FC  |
+//
+// ResNets use residual basic/bottleneck blocks, VGGs use plain stacked
+// convolutions, MobileNet uses depthwise-separable convolutions — the
+// architectural diversity the ensemble technique depends on (§IV-B).
+// Models expect 16 x 16 inputs (4 halvings available for the deep stacks).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace tdfm::models {
+
+enum class Arch {
+  kConvNet,
+  kDeconvNet,
+  kVGG11,
+  kVGG16,
+  kResNet18,
+  kResNet50,
+  kMobileNet,
+};
+
+[[nodiscard]] const char* arch_name(Arch arch);
+[[nodiscard]] Arch arch_from_name(std::string_view name);
+[[nodiscard]] std::vector<Arch> all_architectures();
+
+/// True for the paper's "shallow/moderate" models (ConvNet, DeconvNet) —
+/// relevant because robust loss and label correction hurt shallow models
+/// (§IV-B).
+[[nodiscard]] bool is_shallow(Arch arch);
+
+/// Input geometry + width scaling for a model instance.
+struct ModelConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 16;  ///< must be 16 (4 spatial halvings)
+  std::size_t num_classes = 10;
+  std::size_t width = 8;  ///< base channel count; paper-scale would be 64
+
+  /// Derives geometry from a dataset spec.
+  [[nodiscard]] static ModelConfig for_dataset(const data::SyntheticSpec& spec,
+                                               std::size_t width = 8);
+};
+
+/// Builds a freshly initialised instance of the given architecture.
+[[nodiscard]] std::unique_ptr<nn::Network> build_model(Arch arch,
+                                                       const ModelConfig& config,
+                                                       Rng& rng);
+
+/// A factory bound to (arch, config) producing fresh instances on demand.
+[[nodiscard]] nn::NetworkFactory make_factory(Arch arch, ModelConfig config);
+
+/// Conv + FC layer count each architecture must report (Table III check).
+[[nodiscard]] std::size_t expected_weight_layers(Arch arch);
+
+/// Per-architecture optimiser tuning.  The paper tunes each model with the
+/// hyperparameters its implementers recommend; at this scale the plain
+/// stacked-conv families (ConvNet/DeconvNet/VGG) train best with Adam while
+/// the residual/separable families prefer SGD with momentum.  Returns a
+/// copy of `base` with optimiser/lr adjusted (epochs, batch size and other
+/// user-chosen fields are preserved).  No-op when base.auto_tune is false.
+[[nodiscard]] nn::TrainOptions tuned_options(Arch arch, nn::TrainOptions base);
+
+}  // namespace tdfm::models

@@ -1,0 +1,38 @@
+// Batch normalisation over channels of [B, C, H, W] activations.
+//
+// The residual networks in the model zoo (ResNet18/50 analogues) need
+// normalisation to train at depth; without it the 17–49-conv stacks do not
+// converge in the small-epoch regime this study runs in.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace tdfm::nn {
+
+class BatchNorm2D final : public Layer {
+ public:
+  explicit BatchNorm2D(std::size_t channels, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::string name() const override {
+    return "BatchNorm2D(" + std::to_string(channels_) + ")";
+  }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;  ///< per-channel scale, initialised to 1
+  Parameter beta_;   ///< per-channel shift, initialised to 0
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Caches for backward (training mode only).
+  Tensor normalized_;   ///< x_hat
+  Tensor batch_inv_std_;  ///< [C]
+  Shape input_shape_;
+};
+
+}  // namespace tdfm::nn

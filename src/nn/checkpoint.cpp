@@ -1,0 +1,42 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace tdfm::nn {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x7dF30001ULL;  // 'tdfm' + format version 1
+}
+
+void save_checkpoint(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open checkpoint file for writing: " + path);
+  const std::vector<float> weights = net.save_weights();
+  const std::uint64_t count = weights.size();
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+  if (!out) throw Error("failed writing checkpoint: " + path);
+}
+
+void load_checkpoint(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open checkpoint file: " + path);
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    throw Error("not a tdfm checkpoint (bad header): " + path);
+  }
+  std::vector<float> weights(count);
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw Error("checkpoint truncated: " + path);
+  // load_weights validates the count against the network's structure.
+  net.load_weights(weights);
+}
+
+}  // namespace tdfm::nn

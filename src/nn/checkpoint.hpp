@@ -1,0 +1,27 @@
+// Network weight checkpointing.
+//
+// Training the heavier zoo members takes minutes on CPU; checkpoints let
+// applications train once and reuse (e.g. the golden model across repeated
+// AD evaluations, or shipping a fitted ensemble).  The format is
+// deliberately minimal: a magic header, the parameter scalar count, then
+// raw little-endian float32 — matching Network::save_weights()/
+// load_weights(), which validate the count against the target network's
+// structure on load.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace tdfm::nn {
+
+/// Writes the network's weights to `path`.  Throws tdfm::Error on I/O
+/// failure.
+void save_checkpoint(Network& net, const std::string& path);
+
+/// Loads weights saved by save_checkpoint into a structurally identical
+/// network.  Throws tdfm::Error on I/O failure, format mismatch, or when
+/// the stored scalar count does not match the network.
+void load_checkpoint(Network& net, const std::string& path);
+
+}  // namespace tdfm::nn

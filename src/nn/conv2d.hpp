@@ -1,0 +1,61 @@
+// 2-d convolution layers (standard and depthwise).
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace tdfm::nn {
+
+/// Standard convolution: input [B, C, H, W] -> output [B, out_c, H', W'].
+/// Implemented as im2col + GEMM per image; weights stored [out_c, C*k*k].
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_c, std::size_t out_c, std::size_t in_h, std::size_t in_w,
+         std::size_t kernel, std::size_t stride, std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
+
+  [[nodiscard]] const ConvGeometry& geometry() const { return geom_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_c_; }
+
+ private:
+  ConvGeometry geom_;
+  std::size_t out_c_;
+  Parameter weight_;  ///< [out_c, C*k*k]
+  Parameter bias_;    ///< [out_c]
+  Tensor cached_input_;
+  std::vector<float> columns_;       ///< batched patch matrix [pr, B*pc]
+  std::vector<float> scratch_;       ///< GEMM output / re-laid-out gradients
+  std::vector<float> grad_columns_;  ///< patch-matrix gradient
+};
+
+/// Depthwise convolution (MobileNet): each input channel is convolved with
+/// its own k x k filter; channel count is preserved.
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(std::size_t channels, std::size_t in_h, std::size_t in_w,
+                  std::size_t kernel, std::size_t stride, std::size_t pad, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
+
+ private:
+  ConvGeometry geom_;  ///< geometry with in_c = 1, applied per channel
+  std::size_t channels_;
+  Parameter weight_;  ///< [channels, k*k]
+  Parameter bias_;    ///< [channels]
+  Tensor cached_input_;
+  std::vector<float> columns_;       ///< batched per-channel patch matrix
+  std::vector<float> scratch_;       ///< per-channel dY row [1, B*pc]
+  std::vector<float> grad_columns_;
+};
+
+}  // namespace tdfm::nn

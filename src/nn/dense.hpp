@@ -1,0 +1,31 @@
+// Fully-connected layer.
+#pragma once
+
+#include "core/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace tdfm::nn {
+
+/// y = x W^T + b with x: [B, in], W: [out, in], b: [out].
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;  ///< [B, in] saved by forward for the weight gradient
+};
+
+}  // namespace tdfm::nn

@@ -1,0 +1,26 @@
+// Flatten [B, C, H, W] activations into [B, C*H*W] for the FC head.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace tdfm::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool /*training*/) override {
+    input_shape_ = input.shape();
+    const std::size_t batch = input.dim(0);
+    return input.reshaped(Shape{batch, input.numel() / batch});
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    return grad_output.reshaped(input_shape_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace tdfm::nn

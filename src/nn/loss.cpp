@@ -1,0 +1,220 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm::nn {
+
+namespace {
+
+constexpr float kProbFloor = 1e-12F;  // keeps log() finite
+
+void check_loss_shapes(const Tensor& logits, const Tensor& targets) {
+  TDFM_CHECK(logits.rank() == 2 && targets.rank() == 2, "losses expect [B, K]");
+  TDFM_CHECK(logits.dim(0) == targets.dim(0) && logits.dim(1) == targets.dim(1),
+             "logits/targets shape mismatch");
+}
+
+}  // namespace
+
+Tensor one_hot(std::span<const int> labels, std::size_t num_classes) {
+  Tensor t(Shape{labels.size(), num_classes});
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    TDFM_CHECK(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < num_classes,
+               "label out of range in one_hot");
+    t.at(i, static_cast<std::size_t>(labels[i])) = 1.0F;
+  }
+  return t;
+}
+
+double CrossEntropyLoss::compute(const Tensor& logits, const Tensor& targets,
+                                 Tensor& grad_logits) {
+  check_loss_shapes(logits, targets);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  const Tensor probs = softmax_rows(logits);
+  grad_logits = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const float t = targets.at(b, j);
+      const float p = std::max(probs.at(b, j), kProbFloor);
+      if (t != 0.0F) loss -= static_cast<double>(t) * std::log(p);
+      grad_logits.at(b, j) = (probs.at(b, j) - t) * inv_b;
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+SmoothedCrossEntropyLoss::SmoothedCrossEntropyLoss(float alpha) : alpha_(alpha) {
+  TDFM_CHECK(alpha >= 0.0F && alpha < 1.0F, "smoothing alpha must be in [0, 1)");
+}
+
+double SmoothedCrossEntropyLoss::compute(const Tensor& logits, const Tensor& targets,
+                                         Tensor& grad_logits) {
+  check_loss_shapes(logits, targets);
+  const std::size_t k = logits.dim(1);
+  // q = (1 - alpha) * t + alpha / K, then plain CE.
+  Tensor smoothed = scale(targets, 1.0F - alpha_);
+  const float uniform = alpha_ / static_cast<float>(k);
+  for (auto& x : smoothed.flat()) x += uniform;
+  CrossEntropyLoss ce;
+  return ce.compute(logits, smoothed, grad_logits);
+}
+
+LabelRelaxationLoss::LabelRelaxationLoss(float alpha) : alpha_(alpha) {
+  TDFM_CHECK(alpha > 0.0F && alpha < 1.0F, "relaxation alpha must be in (0, 1)");
+}
+
+double LabelRelaxationLoss::compute(const Tensor& logits, const Tensor& targets,
+                                    Tensor& grad_logits) {
+  check_loss_shapes(logits, targets);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  const Tensor probs = softmax_rows(logits);
+  grad_logits = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t y = argmax(targets.row(b));
+    const float py = probs.at(b, y);
+    if (py >= 1.0F - alpha_) {
+      continue;  // prediction inside the credal set: zero loss, zero gradient
+    }
+    // q_hat: 1 - alpha on the target, alpha distributed over the non-target
+    // classes proportionally to the model's own predicted shape.
+    const float rest = std::max(1.0F - py, kProbFloor);
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = std::max(probs.at(b, j), kProbFloor);
+      const float q = (j == y) ? (1.0F - alpha_) : alpha_ * probs.at(b, j) / rest;
+      if (q > 0.0F) {
+        loss += static_cast<double>(q) * std::log(std::max(q, kProbFloor) / p);
+      }
+      // Practical gradient (q_hat treated as a constant target): p - q.
+      grad_logits.at(b, j) = (probs.at(b, j) - q) * inv_b;
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double NCELoss::compute(const Tensor& logits, const Tensor& targets,
+                        Tensor& grad_logits) {
+  check_loss_shapes(logits, targets);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  const Tensor probs = softmax_rows(logits);
+  grad_logits = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t y = argmax(targets.row(b));
+    // numer = -log p_y ; denom = sum_k -log p_k ; NCE = numer / denom.
+    float denom = 0.0F;
+    for (std::size_t j = 0; j < k; ++j) {
+      denom -= std::log(std::max(probs.at(b, j), kProbFloor));
+    }
+    denom = std::max(denom, kProbFloor);
+    const float numer = -std::log(std::max(probs.at(b, y), kProbFloor));
+    loss += numer / denom;
+    // d numer / d z_j = p_j - 1[j = y]
+    // d denom / d z_j = K * p_j - 1
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = probs.at(b, j);
+      const float dnum = p - (j == y ? 1.0F : 0.0F);
+      const float dden = static_cast<float>(k) * p - 1.0F;
+      grad_logits.at(b, j) = (dnum * denom - numer * dden) / (denom * denom) * inv_b;
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double RCELoss::compute(const Tensor& logits, const Tensor& targets,
+                        Tensor& grad_logits) {
+  check_loss_shapes(logits, targets);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+  const Tensor probs = softmax_rows(logits);
+  grad_logits = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    // log t with clamped zeros; targets may be soft (corrected labels).
+    float inner = 0.0F;  // sum_k p_k * log t_k
+    for (std::size_t j = 0; j < k; ++j) {
+      const float t = targets.at(b, j);
+      const float logt = (t <= 0.0F) ? log_zero_ : std::log(t);
+      inner += probs.at(b, j) * logt;
+    }
+    loss -= inner;
+    // d/dz_j (-sum_k p_k log t_k) = -p_j (log t_j - inner)
+    for (std::size_t j = 0; j < k; ++j) {
+      const float t = targets.at(b, j);
+      const float logt = (t <= 0.0F) ? log_zero_ : std::log(t);
+      grad_logits.at(b, j) = -probs.at(b, j) * (logt - inner) * inv_b;
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+APLLoss::APLLoss(float alpha, float beta) : alpha_(alpha), beta_(beta) {
+  TDFM_CHECK(alpha >= 0.0F && beta >= 0.0F, "APL weights must be non-negative");
+  TDFM_CHECK(alpha + beta > 0.0F, "APL needs at least one active term");
+}
+
+double APLLoss::compute(const Tensor& logits, const Tensor& targets,
+                        Tensor& grad_logits) {
+  Tensor grad_nce;
+  Tensor grad_rce;
+  const double l_nce = nce_.compute(logits, targets, grad_nce);
+  const double l_rce = rce_.compute(logits, targets, grad_rce);
+  grad_logits = Tensor(logits.shape());
+  grad_logits.add_scaled(grad_nce, alpha_);
+  grad_logits.add_scaled(grad_rce, beta_);
+  return alpha_ * l_nce + beta_ * l_rce;
+}
+
+DistillationLoss::DistillationLoss(float alpha, float temperature)
+    : alpha_(alpha), temperature_(temperature) {
+  TDFM_CHECK(alpha >= 0.0F && alpha <= 1.0F, "distillation alpha in [0, 1]");
+  TDFM_CHECK(temperature >= 1.0F, "distillation temperature >= 1");
+}
+
+double DistillationLoss::compute(const Tensor& logits, const Tensor& hard_targets,
+                                 const Tensor& teacher_probs,
+                                 Tensor& grad_logits) const {
+  check_loss_shapes(logits, hard_targets);
+  check_loss_shapes(logits, teacher_probs);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t k = logits.dim(1);
+
+  CrossEntropyLoss ce;
+  Tensor grad_hard;
+  const double l_hard = ce.compute(logits, hard_targets, grad_hard);
+
+  // Soft term: CE between student's temperature-T softmax and teacher probs.
+  const Tensor probs_t = softmax_rows(logits, temperature_);
+  Tensor grad_soft(logits.shape());
+  double l_soft = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const float t = teacher_probs.at(b, j);
+      const float p = std::max(probs_t.at(b, j), kProbFloor);
+      if (t > 0.0F) l_soft -= static_cast<double>(t) * std::log(p);
+      // d/dz of CE at temperature T carries a 1/T factor; the T^2 loss
+      // weighting leaves an overall factor of T on the gradient.
+      grad_soft.at(b, j) = (probs_t.at(b, j) - t) / temperature_ * inv_b;
+    }
+  }
+  l_soft /= static_cast<double>(batch);
+
+  grad_logits = Tensor(logits.shape());
+  grad_logits.add_scaled(grad_hard, 1.0F - alpha_);
+  grad_logits.add_scaled(grad_soft, alpha_ * temperature_ * temperature_);
+  return (1.0 - alpha_) * l_hard +
+         static_cast<double>(alpha_ * temperature_ * temperature_) * l_soft;
+}
+
+}  // namespace tdfm::nn

@@ -1,0 +1,138 @@
+// Classification losses.
+//
+// Every loss maps logits [B, K] plus a per-sample target distribution
+// [B, K] to (mean loss, d loss / d logits).  Softmax is fused into the
+// losses — networks emit raw logits.  Targets are distributions rather than
+// class ids so that soft labels (label smoothing, distillation, corrected
+// labels) flow through the same interface as one-hot hard labels.
+//
+// The robust-loss technique of the paper (§III-B3) is the Active-Passive
+// Loss of Ma et al. [18]: APL = alpha * NCE + beta * RCE, combining an
+// "active" loss (Normalized Cross Entropy) that fits the target class with
+// a "passive" loss (Reverse Cross Entropy) that suppresses non-target
+// classes; both are provably robust to symmetric label noise, unlike CE.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace tdfm::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Computes the mean loss over the batch and writes d(mean loss)/d(logits)
+  /// into grad_logits (resized by the callee).
+  virtual double compute(const Tensor& logits, const Tensor& targets,
+                         Tensor& grad_logits) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Standard softmax cross entropy with (possibly soft) target distributions.
+/// grad = (softmax(z) - t) / B.  Not robust to label noise [47]; this is the
+/// paper's baseline loss.
+class CrossEntropyLoss final : public Loss {
+ public:
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "CrossEntropy"; }
+};
+
+/// Cross entropy against smoothed targets q = (1 - alpha) * t + alpha / K
+/// (classical label smoothing, §III-B1).
+class SmoothedCrossEntropyLoss final : public Loss {
+ public:
+  explicit SmoothedCrossEntropyLoss(float alpha);
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "SmoothedCE"; }
+  [[nodiscard]] float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+};
+
+/// Label relaxation (Lienen & Hüllermeier, AAAI'21 [16]) — the paper's
+/// representative label-smoothing-family technique.  Instead of a fixed
+/// uniform redistribution, the target is projected onto the credal set of
+/// distributions with q_y >= 1 - alpha: when the model is already confident
+/// enough in the labelled class the loss is zero; otherwise the loss is
+/// KL(q_hat || p) where q_hat keeps the predicted shape on the non-target
+/// classes (q_hat_k ∝ p_k for k != y) and assigns 1 - alpha to the target.
+class LabelRelaxationLoss final : public Loss {
+ public:
+  explicit LabelRelaxationLoss(float alpha);
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "LabelRelaxation"; }
+  [[nodiscard]] float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+};
+
+/// Normalized Cross Entropy (active part of APL):
+///   NCE = -log p_y / (sum_k -log p_k).
+class NCELoss final : public Loss {
+ public:
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "NCE"; }
+};
+
+/// Reverse Cross Entropy (passive part of APL):
+///   RCE = -sum_k p_k log t_k with log 0 clamped to A (= -4, as in [18]).
+class RCELoss final : public Loss {
+ public:
+  explicit RCELoss(float log_zero = -4.0F) : log_zero_(log_zero) {}
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "RCE"; }
+
+ private:
+  float log_zero_;
+};
+
+/// Active-Passive Loss: alpha * NCE + beta * RCE (the paper's robust-loss
+/// representative; recommended alpha = beta = 1).
+class APLLoss final : public Loss {
+ public:
+  APLLoss(float alpha, float beta);
+  double compute(const Tensor& logits, const Tensor& targets,
+                 Tensor& grad_logits) override;
+  [[nodiscard]] std::string name() const override { return "APL(NCE+RCE)"; }
+
+ private:
+  float alpha_;
+  float beta_;
+  NCELoss nce_;
+  RCELoss rce_;
+};
+
+/// Knowledge-distillation loss (Hinton et al. [48], self-distillation [19]):
+///   L = (1 - alpha) * CE(z, hard) + alpha * T^2 * CE(z / T, teacher_probs)
+/// where teacher_probs is the teacher's temperature-T softmax.  The T^2
+/// factor keeps gradient magnitudes comparable across temperatures.
+class DistillationLoss final {
+ public:
+  DistillationLoss(float alpha, float temperature);
+
+  double compute(const Tensor& logits, const Tensor& hard_targets,
+                 const Tensor& teacher_probs, Tensor& grad_logits) const;
+
+  [[nodiscard]] float alpha() const { return alpha_; }
+  [[nodiscard]] float temperature() const { return temperature_; }
+
+ private:
+  float alpha_;
+  float temperature_;
+};
+
+/// Builds a one-hot row-per-sample target matrix from class ids.
+[[nodiscard]] Tensor one_hot(std::span<const int> labels, std::size_t num_classes);
+
+}  // namespace tdfm::nn

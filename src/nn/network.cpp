@@ -1,0 +1,38 @@
+#include "nn/network.hpp"
+
+namespace tdfm::nn {
+
+void Network::copy_weights_from(Network& other) {
+  auto dst = parameters();
+  auto src = other.parameters();
+  TDFM_CHECK(dst.size() == src.size(),
+             "copy_weights_from requires structurally identical networks");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    TDFM_CHECK(dst[i]->value.shape() == src[i]->value.shape(),
+               "parameter shape mismatch between networks");
+    dst[i]->value = src[i]->value;
+  }
+}
+
+std::vector<float> Network::save_weights() {
+  std::vector<float> out;
+  for (auto* p : parameters()) {
+    const auto span = p->value.flat();
+    out.insert(out.end(), span.begin(), span.end());
+  }
+  return out;
+}
+
+void Network::load_weights(const std::vector<float>& weights) {
+  std::size_t offset = 0;
+  for (auto* p : parameters()) {
+    TDFM_CHECK(offset + p->numel() <= weights.size(),
+               "weight blob too small for this network");
+    std::copy_n(weights.begin() + static_cast<std::ptrdiff_t>(offset), p->numel(),
+                p->value.flat().begin());
+    offset += p->numel();
+  }
+  TDFM_CHECK(offset == weights.size(), "weight blob larger than this network");
+}
+
+}  // namespace tdfm::nn

@@ -1,0 +1,72 @@
+// Network: the trainable classifier wrapper around a Sequential body.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace tdfm::nn {
+
+/// A classification network: a Sequential body whose output is a
+/// [B, num_classes] logit matrix (softmax lives in the loss functions).
+class Network {
+ public:
+  Network(std::string name, std::unique_ptr<Sequential> body, std::size_t num_classes)
+      : name_(std::move(name)), body_(std::move(body)), num_classes_(num_classes) {
+    TDFM_CHECK(body_ != nullptr, "network body must not be null");
+  }
+
+  /// Forward pass to logits; `training` toggles dropout/batch-norm mode.
+  [[nodiscard]] Tensor logits(const Tensor& batch, bool training) {
+    Tensor out = body_->forward(batch, training);
+    TDFM_CHECK(out.rank() == 2 && out.dim(1) == num_classes_,
+               "network must emit [B, num_classes] logits");
+    return out;
+  }
+
+  /// Backpropagates d(loss)/d(logits), accumulating parameter gradients.
+  void backward(const Tensor& grad_logits) { (void)body_->backward(grad_logits); }
+
+  [[nodiscard]] std::vector<Parameter*> parameters() { return body_->parameters(); }
+
+  void zero_grad() {
+    for (auto* p : body_->parameters()) p->zero_grad();
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+  [[nodiscard]] std::size_t parameter_count() { return body_->parameter_count(); }
+
+  /// Conv + FC layer count, for asserting Table III depth claims.
+  [[nodiscard]] std::size_t weight_layer_count() const {
+    return body_->weight_layer_count();
+  }
+
+  /// Copies all parameter values from another structurally identical
+  /// network (same factory, same seed discipline).  Used by knowledge
+  /// distillation to snapshot the teacher.
+  void copy_weights_from(Network& other);
+
+  /// Flattens all parameter values into one vector (checkpointing).
+  [[nodiscard]] std::vector<float> save_weights();
+
+  /// Restores parameter values saved by save_weights().
+  void load_weights(const std::vector<float>& weights);
+
+ private:
+  std::string name_;
+  std::unique_ptr<Sequential> body_;
+  std::size_t num_classes_;
+};
+
+/// Builds a fresh, randomly initialised network.  The factory pattern lets
+/// techniques that need multiple instances (ensembles, distillation,
+/// golden/faulty pairs) create structurally identical models with
+/// independent weights.
+using NetworkFactory = std::function<std::unique_ptr<Network>(Rng& rng)>;
+
+}  // namespace tdfm::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace tdfm::nn {
+
+SGD::SGD(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  TDFM_CHECK(lr > 0.0F, "learning rate must be positive");
+  TDFM_CHECK(momentum >= 0.0F && momentum < 1.0F, "momentum in [0, 1)");
+}
+
+void SGD::step(const std::vector<Parameter*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const auto* p : params) velocity_.emplace_back(p->value.shape());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    Tensor& vel = velocity_[i];
+    float* __restrict__ w = p.value.data();
+    const float* __restrict__ g = p.grad.data();
+    float* __restrict__ v = vel.data();
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      v[j] = momentum_ * v[j] + grad;
+      w[j] -= lr_ * v[j];
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {
+  TDFM_CHECK(lr > 0.0F, "learning rate must be positive");
+}
+
+void Adam::step(const std::vector<Parameter*>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto* p : params) {
+      m_.emplace_back(p->value.shape());
+      v_.emplace_back(p->value.shape());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    float* __restrict__ w = p.value.data();
+    const float* __restrict__ g = p.grad.data();
+    float* __restrict__ m = m_[i].data();
+    float* __restrict__ v = v_[i].data();
+    for (std::size_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace tdfm::nn

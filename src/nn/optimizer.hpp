@@ -1,0 +1,58 @@
+// First-order optimisers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace tdfm::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update step using the gradients currently accumulated in
+  /// the parameters, then leaves the gradients untouched (the trainer zeroes
+  /// them before the next batch).
+  virtual void step(const std::vector<Parameter*>& params) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  explicit SGD(float lr, float momentum = 0.9F, float weight_decay = 0.0F);
+
+  void step(const std::vector<Parameter*>& params) override;
+  [[nodiscard]] std::string name() const override { return "SGD"; }
+
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;  ///< one per parameter, lazily sized
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9F, float beta2 = 0.999F,
+                float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step(const std::vector<Parameter*>& params) override;
+  [[nodiscard]] std::string name() const override { return "Adam"; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace tdfm::nn

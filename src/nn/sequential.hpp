@@ -1,0 +1,68 @@
+// Sequential layer container.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/layer.hpp"
+
+namespace tdfm::nn {
+
+/// Runs a list of layers in order; itself a Layer, so composite blocks
+/// (residual, separable) can nest Sequentials.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  void add(LayerPtr layer) {
+    TDFM_CHECK(layer != nullptr, "cannot add a null layer");
+    layers_.push_back(std::move(layer));
+  }
+
+  /// Constructs a layer in place and appends it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, training);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Parameter*> parameters() override {
+    std::vector<Parameter*> ps;
+    for (auto& layer : layers_) {
+      for (auto* p : layer->parameters()) ps.push_back(p);
+    }
+    return ps;
+  }
+
+  [[nodiscard]] std::string name() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t weight_layer_count() const override {
+    std::size_t n = 0;
+    for (const auto& layer : layers_) n += layer->weight_layer_count();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace tdfm::nn

@@ -1,0 +1,112 @@
+#include "nn/trainer.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "core/logging.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm::nn {
+
+Tensor Trainer::gather(const Tensor& images, std::span<const std::size_t> idx) {
+  TDFM_CHECK(images.rank() >= 2, "gather expects a batched tensor");
+  const std::size_t row = images.numel() / images.dim(0);
+  std::vector<std::size_t> dims = images.shape().dims();
+  dims[0] = idx.size();
+  Tensor out{Shape(dims)};
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    TDFM_CHECK(idx[i] < images.dim(0), "gather index out of range");
+    std::memcpy(out.data() + i * row, images.data() + idx[i] * row,
+                row * sizeof(float));
+  }
+  return out;
+}
+
+double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
+                    Rng& rng, const EpochHook& on_epoch_end) {
+  TDFM_CHECK(images.dim(0) > 0, "cannot train on an empty dataset");
+  TDFM_CHECK(opts_.epochs > 0 && opts_.batch_size > 0, "bad train options");
+  const std::size_t n = images.dim(0);
+
+  std::unique_ptr<Optimizer> opt;
+  auto sgd = std::make_unique<SGD>(opts_.lr, opts_.momentum, opts_.weight_decay);
+  SGD* sgd_raw = sgd.get();
+  if (opts_.use_adam) {
+    opt = std::make_unique<Adam>(opts_.lr, 0.9F, 0.999F, 1e-8F, opts_.weight_decay);
+    sgd_raw = nullptr;
+  } else {
+    opt = std::move(sgd);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const auto params = net.parameters();
+  double epoch_loss = 0.0;
+  float lr = opts_.lr;
+  for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    if (opts_.shuffle) rng.shuffle(order);
+    epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += opts_.batch_size) {
+      const std::size_t count = std::min(opts_.batch_size, n - start);
+      const std::span<const std::size_t> idx(order.data() + start, count);
+      const Tensor batch = gather(images, idx);
+      net.zero_grad();
+      const Tensor logits = net.logits(batch, /*training=*/true);
+      Tensor grad_logits;
+      epoch_loss += loss_fn(logits, idx, grad_logits);
+      TDFM_CHECK(grad_logits.shape() == logits.shape(),
+                 "loss callback must produce a gradient per logit");
+      net.backward(grad_logits);
+      opt->step(params);
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    if (sgd_raw != nullptr) {
+      lr *= opts_.lr_decay;
+      sgd_raw->set_lr(lr);
+    }
+    TDFM_LOG(kDebug) << net.name() << " epoch " << epoch + 1 << '/' << opts_.epochs
+                     << " loss " << epoch_loss;
+    if (on_epoch_end) on_epoch_end(epoch, net);
+  }
+  return epoch_loss;
+}
+
+std::vector<int> predict_classes(Network& net, const Tensor& images,
+                                 std::size_t batch_size) {
+  const std::size_t n = images.dim(0);
+  std::vector<int> out(n);
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    idx.resize(count);
+    std::iota(idx.begin(), idx.end(), start);
+    const Tensor batch = Trainer::gather(images, idx);
+    const Tensor logits = net.logits(batch, /*training=*/false);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[start + i] = static_cast<int>(argmax(logits.row(i)));
+    }
+  }
+  return out;
+}
+
+Tensor predict_probabilities(Network& net, const Tensor& images, float temperature,
+                             std::size_t batch_size) {
+  const std::size_t n = images.dim(0);
+  Tensor out(Shape{n, net.num_classes()});
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t count = std::min(batch_size, n - start);
+    idx.resize(count);
+    std::iota(idx.begin(), idx.end(), start);
+    const Tensor batch = Trainer::gather(images, idx);
+    const Tensor probs = softmax_rows(net.logits(batch, false), temperature);
+    std::memcpy(out.data() + start * net.num_classes(), probs.data(),
+                probs.numel() * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace tdfm::nn

@@ -1,0 +1,33 @@
+// Single-precision matrix multiplication kernels.
+//
+// Convolution (via im2col) and dense layers reduce to GEMM, so these three
+// kernels carry >90% of training time.  They are written as cache-blocked
+// scalar loops with __restrict__ pointers; on the evaluation machine GCC
+// auto-vectorises the inner loops (-O3 -march=native), reaching a few
+// GFLOP/s — enough for the scaled-down study.
+//
+// Layout convention: row-major, C[m x n] = A (op) * B (op) with the
+// transpose baked into the kernel name rather than runtime flags, because
+// each backprop call site statically knows which operand is transposed:
+//   gemm_nn:  C += A[m x k]   * B[k x n]    (forward pass)
+//   gemm_nt:  C += A[m x k]   * B[n x k]^T  (input gradients)
+//   gemm_tn:  C += A[k x m]^T * B[k x n]    (weight gradients)
+#pragma once
+
+#include <cstddef>
+
+namespace tdfm {
+
+/// C[m x n] += A[m x k] * B[k x n].  `accumulate=false` overwrites C.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate = false);
+
+/// C[m x n] += A[m x k] * B[n x k]^T.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate = false);
+
+/// C[m x n] += A[k x m]^T * B[k x n].
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate = false);
+
+}  // namespace tdfm

@@ -1,0 +1,71 @@
+#include "tensor/im2col.hpp"
+
+namespace tdfm {
+
+void im2col(const ConvGeometry& g, const float* image, float* columns,
+            std::size_t row_stride, std::size_t col_offset) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  if (row_stride == 0) row_stride = oh * ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = columns + row * row_stride + col_offset;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed source row: may fall in the zero padding.
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            for (std::size_t x = 0; x < ow; ++x) out_row[y * ow + x] = 0.0F;
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(sy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            out_row[y * ow + x] =
+                (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w))
+                    ? 0.0F
+                    : src[static_cast<std::size_t>(sx)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* columns, float* image_grad,
+            std::size_t row_stride, std::size_t col_offset) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  if (row_stride == 0) row_stride = oh * ow;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    float* plane = image_grad + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row = columns + row * row_stride + col_offset;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          float* dst = plane + static_cast<std::size_t>(sy) * g.in_w;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            dst[static_cast<std::size_t>(sx)] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tdfm

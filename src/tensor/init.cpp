@@ -1,0 +1,28 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace tdfm {
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  TDFM_CHECK(fan_in + fan_out > 0, "xavier needs positive fan");
+  const float a =
+      std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  uniform_init(w, -a, a, rng);
+}
+
+void he_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  TDFM_CHECK(fan_in > 0, "he init needs positive fan-in");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  normal_init(w, 0.0F, stddev, rng);
+}
+
+void normal_init(Tensor& w, float mean, float stddev, Rng& rng) {
+  for (auto& x : w.flat()) x = rng.normal(mean, stddev);
+}
+
+void uniform_init(Tensor& w, float lo, float hi, Rng& rng) {
+  for (auto& x : w.flat()) x = rng.uniform(lo, hi);
+}
+
+}  // namespace tdfm

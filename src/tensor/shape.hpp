@@ -1,0 +1,50 @@
+// Tensor shapes.
+//
+// All tdfm tensors are dense row-major float32.  Shapes are small (rank <= 4
+// in practice: [N, C, H, W] activations and [out, in, kh, kw] conv kernels),
+// so a small inline vector would be overkill; std::vector keeps the code
+// simple and shape manipulation is never on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tdfm {
+
+/// Dimensions of a dense row-major tensor.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  [[nodiscard]] std::size_t operator[](std::size_t axis) const {
+    TDFM_CHECK(axis < dims_.size(), "shape axis out of range");
+    return dims_[axis];
+  }
+
+  /// Total number of elements; 1 for a rank-0 (scalar) shape.
+  [[nodiscard]] std::size_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+  [[nodiscard]] bool operator==(const Shape& other) const = default;
+
+  /// Human-readable form, e.g. "[32, 3, 12, 12]".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace tdfm

@@ -1,0 +1,61 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdfm {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw ShapeError("reshape from " + shape_.to_string() + " to " +
+                     new_shape.to_string() + " changes element count");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  TDFM_CHECK(other.numel() == numel(), "element count mismatch in +=");
+  const float* __restrict__ o = other.data();
+  float* __restrict__ d = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) d[i] += o[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  TDFM_CHECK(other.numel() == numel(), "element count mismatch in -=");
+  const float* __restrict__ o = other.data();
+  float* __restrict__ d = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) d[i] -= o[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  TDFM_CHECK(other.numel() == numel(), "element count mismatch in add_scaled");
+  const float* __restrict__ o = other.data();
+  float* __restrict__ d = data();
+  for (std::size_t i = 0; i < data_.size(); ++i) d[i] += scale * o[i];
+}
+
+}  // namespace tdfm

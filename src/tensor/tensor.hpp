@@ -1,0 +1,101 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric workhorse underneath the whole study: activations,
+// weights, gradients, images and soft labels are all Tensors.  The design
+// favours the access patterns backprop actually uses — contiguous storage,
+// cheap reshape (metadata-only), explicit 2-d/4-d indexing helpers — over
+// generality (no strided views, no broadcasting engine; the few broadcast
+// patterns needed by layers are explicit functions in tensor_ops.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace tdfm {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.numel(), 0.0F) {}
+
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    TDFM_CHECK(data_.size() == shape_.numel(), "data size must match shape");
+  }
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor full(Shape shape, float value);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t rank() const { return shape_.rank(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const { return shape_[axis]; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> flat() { return data_; }
+  [[nodiscard]] std::span<const float> flat() const { return data_; }
+
+  // Flat element access.
+  [[nodiscard]] float& operator[](std::size_t i) {
+    TDFM_CHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] float operator[](std::size_t i) const {
+    TDFM_CHECK(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  // 2-d access for [rows, cols] matrices (dense activations, logits).
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    return data_[r * shape_[1] + c];
+  }
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return data_[r * shape_[1] + c];
+  }
+
+  // 4-d access for [N, C, H, W] activations.
+  [[nodiscard]] float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  [[nodiscard]] float at(std::size_t n, std::size_t c, std::size_t h,
+                         std::size_t w) const {
+    return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Metadata-only reshape; element count must be preserved.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Returns the [row] slice of a rank-2 tensor as a span (no copy).
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    TDFM_CHECK(rank() == 2, "row() needs a rank-2 tensor");
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    TDFM_CHECK(rank() == 2, "row() needs a rank-2 tensor");
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { fill(0.0F); }
+
+  // In-place arithmetic (used by optimisers and gradient accumulation).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  /// Accumulates `scale * other` into this tensor (axpy).
+  void add_scaled(const Tensor& other, float scale);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace tdfm

@@ -1,0 +1,102 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdfm {
+
+namespace {
+Tensor binary_op(const Tensor& a, const Tensor& b, auto op) {
+  TDFM_CHECK(a.numel() == b.numel(), "element count mismatch in binary op");
+  Tensor out(a.shape());
+  const float* __restrict__ pa = a.data();
+  const float* __restrict__ pb = b.data();
+  float* __restrict__ po = out.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = op(pa[i], pb[i]);
+  return out;
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* __restrict__ pa = a.data();
+  float* __restrict__ po = out.data();
+  for (std::size_t i = 0; i < a.numel(); ++i) po[i] = s * pa[i];
+  return out;
+}
+
+void softmax_row(std::span<float> row, float temperature) {
+  TDFM_CHECK(!row.empty(), "softmax of empty row");
+  TDFM_CHECK(temperature > 0.0F, "softmax temperature must be positive");
+  float mx = row[0];
+  for (float x : row) mx = std::max(mx, x);
+  float denom = 0.0F;
+  for (auto& x : row) {
+    x = std::exp((x - mx) / temperature);
+    denom += x;
+  }
+  for (auto& x : row) x /= denom;
+}
+
+Tensor softmax_rows(const Tensor& logits, float temperature) {
+  TDFM_CHECK(logits.rank() == 2, "softmax_rows needs [rows, cols]");
+  Tensor out = logits;
+  for (std::size_t r = 0; r < out.dim(0); ++r) {
+    softmax_row(out.row(r), temperature);
+  }
+  return out;
+}
+
+std::size_t argmax(std::span<const float> xs) {
+  TDFM_CHECK(!xs.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+double sum(const Tensor& t) {
+  double s = 0.0;
+  for (float x : t.flat()) s += x;
+  return s;
+}
+
+double mean(const Tensor& t) {
+  return t.numel() == 0 ? 0.0 : sum(t) / static_cast<double>(t.numel());
+}
+
+float max_abs(const Tensor& t) {
+  float m = 0.0F;
+  for (float x : t.flat()) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double squared_norm(const Tensor& t) {
+  double s = 0.0;
+  for (float x : t.flat()) s += static_cast<double>(x) * x;
+  return s;
+}
+
+bool all_finite(const Tensor& t) {
+  return std::all_of(t.flat().begin(), t.flat().end(),
+                     [](float x) { return std::isfinite(x); });
+}
+
+void clamp_(Tensor& t, float lo, float hi) {
+  for (auto& x : t.flat()) x = std::clamp(x, lo, hi);
+}
+
+}  // namespace tdfm

@@ -1,0 +1,55 @@
+// Elementwise / reduction operations on tensors.
+//
+// Only the operations the layers and losses actually need — each is a plain
+// free function over contiguous storage so the compiler can vectorise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace tdfm {
+
+/// out = a + b (same element count).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+
+/// out = a - b.
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+
+/// out = a ⊙ b (Hadamard).
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+
+/// out = s * a.
+[[nodiscard]] Tensor scale(const Tensor& a, float s);
+
+/// Row-wise softmax of a [rows, cols] matrix with max-subtraction for
+/// numerical stability.  `temperature` implements the distilled softmax of
+/// the knowledge-distillation technique (T = 1 is regular softmax).
+[[nodiscard]] Tensor softmax_rows(const Tensor& logits, float temperature = 1.0F);
+
+/// In-place row-wise softmax over a single row span.
+void softmax_row(std::span<float> row, float temperature = 1.0F);
+
+/// Index of the maximum element of a span (first on ties).
+[[nodiscard]] std::size_t argmax(std::span<const float> xs);
+
+/// Sum of all elements.
+[[nodiscard]] double sum(const Tensor& t);
+
+/// Mean of all elements.
+[[nodiscard]] double mean(const Tensor& t);
+
+/// Maximum absolute element (useful for gradient-explosion checks).
+[[nodiscard]] float max_abs(const Tensor& t);
+
+/// Squared L2 norm.
+[[nodiscard]] double squared_norm(const Tensor& t);
+
+/// True when every element is finite (no NaN/Inf).
+[[nodiscard]] bool all_finite(const Tensor& t);
+
+/// Clamps every element into [lo, hi] in place.
+void clamp_(Tensor& t, float lo, float hi);
+
+}  // namespace tdfm

@@ -1,0 +1,208 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace tdfm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next() == f2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState) {
+  Rng p1(99);
+  Rng p2(99);
+  Rng f1 = p1.fork(5);
+  Rng f2 = p2.fork(5);
+  EXPECT_EQ(f1.next(), f2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-3.0F, 5.0F);
+    ASSERT_GE(v, -3.0F);
+    ASSERT_LT(v, 5.0F);
+  }
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(13);
+  for (std::size_t n : {1UL, 2UL, 7UL, 43UL, 1000UL}) {
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_LT(rng.index(n), n);
+    }
+  }
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng(14);
+  EXPECT_THROW((void)rng.index(0), InvariantError);
+}
+
+TEST(Rng, IndexIsRoughlyUniform) {
+  Rng rng(15);
+  constexpr std::size_t kBuckets = 10;
+  constexpr int kDraws = 50000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.index(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, kDraws * 0.012);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(16);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(18);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(3.0F, 0.5F);
+  EXPECT_NEAR(sum / kN, 3.0, 0.03);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kN), 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(20);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, SampleWithoutReplacementUnique) {
+  Rng rng(21);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20U);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20U);
+  for (const auto s : sample) EXPECT_LT(s, 50U);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(22);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10U);
+}
+
+TEST(Rng, SampleTooLargeThrows) {
+  Rng rng(23);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), InvariantError);
+}
+
+TEST(Rng, SampleCoversPopulationOverManyDraws) {
+  // Property: repeated small samples eventually hit every index.
+  Rng rng(24);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const auto s : rng.sample_without_replacement(20, 3)) seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 20U);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  // Regression pin: splitmix64 must not change across refactors (it seeds
+  // every experiment in the repository).
+  std::uint64_t s = 42;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_NE(first, second);
+  std::uint64_t s2 = 42;
+  EXPECT_EQ(first, splitmix64(s2));
+}
+
+class RngReseedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngReseedTest, ReseedReproducesStream) {
+  Rng rng(GetParam());
+  std::vector<std::uint64_t> first;
+  first.reserve(16);
+  for (int i = 0; i < 16; ++i) first.push_back(rng.next());
+  rng.reseed(GetParam());
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngReseedTest,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace tdfm

@@ -1,0 +1,105 @@
+#include "core/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace tdfm {
+namespace {
+
+TEST(Statistics, EmptySampleIsAllZero) {
+  const SampleStats s = summarize({});
+  EXPECT_EQ(s.n, 0U);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Statistics, SingleSampleHasZeroWidth) {
+  const std::array<double, 1> xs{3.5};
+  const SampleStats s = summarize(xs);
+  EXPECT_EQ(s.n, 1U);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Statistics, KnownSample) {
+  const std::array<double, 5> xs{2.0, 4.0, 4.0, 4.0, 6.0};
+  const SampleStats s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  // Sample variance: (4+0+0+0+4)/4 = 2.
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.stderr_, std::sqrt(2.0 / 5.0), 1e-12);
+  // t*(0.975, 4) = 2.776.
+  EXPECT_NEAR(s.ci95_half_width, 2.776 * std::sqrt(2.0 / 5.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_LT(s.ci_lo(), s.mean);
+  EXPECT_GT(s.ci_hi(), s.mean);
+}
+
+TEST(Statistics, TCriticalMonotoneDecreasing) {
+  for (std::size_t dof = 1; dof < 30; ++dof) {
+    EXPECT_GE(t_critical_975(dof), t_critical_975(dof + 1));
+  }
+  EXPECT_NEAR(t_critical_975(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_975(10000), 1.96, 1e-9);
+}
+
+TEST(Statistics, MeanOfEmptyIsZero) { EXPECT_EQ(mean_of({}), 0.0); }
+
+TEST(Statistics, WelchIdenticalSamplesNotSignificant) {
+  const std::array<double, 4> a{1.0, 2.0, 3.0, 4.0};
+  const WelchResult w = welch_t_test(a, a);
+  EXPECT_NEAR(w.t, 0.0, 1e-12);
+  EXPECT_FALSE(w.significant_at_05);
+}
+
+TEST(Statistics, WelchClearlyDifferentSamplesSignificant) {
+  const std::array<double, 5> a{1.0, 1.1, 0.9, 1.05, 0.95};
+  const std::array<double, 5> b{5.0, 5.1, 4.9, 5.05, 4.95};
+  const WelchResult w = welch_t_test(a, b);
+  EXPECT_TRUE(w.significant_at_05);
+  EXPECT_LT(w.t, 0.0);  // a's mean is below b's
+}
+
+TEST(Statistics, WelchOverlappingSamplesNotSignificant) {
+  const std::array<double, 4> a{1.0, 2.0, 3.0, 4.0};
+  const std::array<double, 4> b{1.5, 2.5, 2.0, 3.5};
+  const WelchResult w = welch_t_test(a, b);
+  EXPECT_FALSE(w.significant_at_05);
+}
+
+TEST(Statistics, WelchTooFewSamplesIsNeutral) {
+  const std::array<double, 1> a{1.0};
+  const std::array<double, 4> b{5.0, 5.0, 5.0, 5.1};
+  const WelchResult w = welch_t_test(a, b);
+  EXPECT_FALSE(w.significant_at_05);
+}
+
+TEST(Statistics, WelchConstantSamplesDifferentMeans) {
+  const std::array<double, 3> a{1.0, 1.0, 1.0};
+  const std::array<double, 3> b{2.0, 2.0, 2.0};
+  const WelchResult w = welch_t_test(a, b);
+  EXPECT_TRUE(w.significant_at_05);
+}
+
+class CiCoverageTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CiCoverageTest, WidthShrinksWithSampleSize) {
+  // Property: for a fixed spread, the CI half-width decreases as n grows.
+  const std::size_t n = GetParam();
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = (i % 2 == 0) ? 0.0 : 1.0;
+  std::vector<double> xl(n * 4);
+  for (std::size_t i = 0; i < n * 4; ++i) xl[i] = (i % 2 == 0) ? 0.0 : 1.0;
+  EXPECT_GT(summarize(xs).ci95_half_width, summarize(xl).ci95_half_width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CiCoverageTest, ::testing::Values(4U, 8U, 20U, 64U));
+
+}  // namespace
+}  // namespace tdfm

@@ -1,0 +1,120 @@
+#include "data/painter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tdfm::data {
+namespace {
+
+struct Canvas {
+  std::vector<float> px;
+  Painter painter;
+
+  explicit Canvas(std::size_t c = 3, std::size_t h = 8, std::size_t w = 8)
+      : px(c * h * w, 0.0F), painter(px.data(), c, h, w) {}
+};
+
+TEST(Painter, FillSetsEveryChannelPlane) {
+  Canvas c;
+  c.painter.fill({0.1F, 0.5F, 0.9F});
+  EXPECT_FLOAT_EQ(c.px[0], 0.1F);              // channel 0 plane
+  EXPECT_FLOAT_EQ(c.px[64], 0.5F);             // channel 1 plane
+  EXPECT_FLOAT_EQ(c.px[128], 0.9F);            // channel 2 plane
+}
+
+TEST(Painter, FillClampsToUnitRange) {
+  Canvas c;
+  c.painter.fill({-1.0F, 2.0F, 0.5F});
+  EXPECT_FLOAT_EQ(c.px[0], 0.0F);
+  EXPECT_FLOAT_EQ(c.px[64], 1.0F);
+}
+
+TEST(Painter, VerticalGradientMonotone) {
+  Canvas c(1, 8, 8);
+  c.painter.vertical_gradient({0.0F, 0, 0}, {1.0F, 0, 0});
+  for (std::size_t y = 1; y < 8; ++y) {
+    EXPECT_GT(c.px[y * 8], c.px[(y - 1) * 8]);
+  }
+  EXPECT_FLOAT_EQ(c.px[0], 0.0F);
+  EXPECT_FLOAT_EQ(c.px[7 * 8], 1.0F);
+}
+
+TEST(Painter, RectPaintsOnlyInterior) {
+  Canvas c(1, 8, 8);
+  c.painter.rect(2.0F, 2.0F, 4.0F, 4.0F, {1.0F, 1.0F, 1.0F});
+  EXPECT_FLOAT_EQ(c.px[3 * 8 + 3], 1.0F);  // inside
+  EXPECT_FLOAT_EQ(c.px[0], 0.0F);          // outside
+  EXPECT_FLOAT_EQ(c.px[5 * 8 + 5], 0.0F);
+}
+
+TEST(Painter, RectClipsToCanvas) {
+  Canvas c(1, 4, 4);
+  EXPECT_NO_THROW(c.painter.rect(-5.0F, -5.0F, 10.0F, 10.0F, {1, 1, 1}));
+  for (const float v : c.px) EXPECT_FLOAT_EQ(v, 1.0F);
+}
+
+TEST(Painter, DiscIsRadiallyBounded) {
+  Canvas c(1, 9, 9);
+  c.painter.disc(4.5F, 4.5F, 2.0F, {1, 1, 1});
+  EXPECT_FLOAT_EQ(c.px[4 * 9 + 4], 1.0F);  // centre painted
+  EXPECT_FLOAT_EQ(c.px[0], 0.0F);          // corner untouched
+}
+
+TEST(Painter, RingLeavesHole) {
+  Canvas c(1, 9, 9);
+  c.painter.ring(4.5F, 4.5F, 2.0F, 4.0F, {1, 1, 1});
+  EXPECT_FLOAT_EQ(c.px[4 * 9 + 4], 0.0F);  // hole
+  EXPECT_FLOAT_EQ(c.px[4 * 9 + 1], 1.0F);  // annulus (distance 3.0)
+}
+
+TEST(Painter, TriangleWiderAtBase) {
+  Canvas c(1, 16, 16);
+  c.painter.triangle(8.0F, 8.0F, 5.0F, {1, 1, 1});
+  const auto row_width = [&](std::size_t y) {
+    std::size_t n = 0;
+    for (std::size_t x = 0; x < 16; ++x) n += c.px[y * 16 + x] > 0.5F ? 1 : 0;
+    return n;
+  };
+  EXPECT_GT(row_width(12), row_width(6));  // base wider than near-apex
+}
+
+TEST(Painter, AlphaBlends) {
+  Canvas c(1, 4, 4);
+  c.painter.fill({0.0F, 0, 0});
+  c.painter.rect(0, 0, 4, 4, {1.0F, 1, 1}, 0.25F);
+  EXPECT_NEAR(c.px[0], 0.25F, 1e-6F);
+}
+
+TEST(Painter, GaussianBlobPeaksAtCentre) {
+  Canvas c(1, 9, 9);
+  c.painter.gaussian_blob(4.5F, 4.5F, 1.5F, {1, 1, 1}, 0.5F);
+  EXPECT_GT(c.px[4 * 9 + 4], c.px[4 * 9 + 1]);
+  EXPECT_GT(c.px[4 * 9 + 4], 0.3F);
+}
+
+TEST(Painter, NoiseStaysInUnitRange) {
+  Canvas c(1, 8, 8);
+  c.painter.fill({0.5F, 0.5F, 0.5F});
+  Rng rng(1);
+  c.painter.add_noise(0.5F, rng);
+  bool changed = false;
+  for (const float v : c.px) {
+    ASSERT_GE(v, 0.0F);
+    ASSERT_LE(v, 1.0F);
+    changed |= (v != 0.5F);
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Painter, StripesArePeriodic) {
+  Canvas c(1, 16, 16);
+  c.painter.stripes(4.0F, 0.0F, {1, 1, 1}, 1.0F);
+  // Period 4: the painted-row pattern repeats every 4 rows.
+  for (std::size_t y = 0; y + 4 < 16; ++y) {
+    EXPECT_NEAR(c.px[y * 16], c.px[(y + 4) * 16], 1e-5F);
+  }
+}
+
+}  // namespace
+}  // namespace tdfm::data

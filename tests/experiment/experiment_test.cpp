@@ -1,0 +1,172 @@
+#include "experiment/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/report.hpp"
+
+namespace tdfm::experiment {
+namespace {
+
+/// Smallest meaningful study: Pneumonia-sim at half scale, ConvNet width 4,
+/// 2 epochs, Base + LS + Ens(1 member), one mislabelling level.
+StudyConfig tiny_study() {
+  StudyConfig cfg;
+  cfg.dataset.kind = data::DatasetKind::kPneumoniaSim;
+  cfg.dataset.scale = 0.5;
+  cfg.model = models::Arch::kConvNet;
+  cfg.model_width = 4;
+  cfg.trials = 2;
+  cfg.train_opts.epochs = 2;
+  cfg.train_opts.batch_size = 16;
+  cfg.techniques = {mitigation::TechniqueKind::kBaseline,
+                    mitigation::TechniqueKind::kLabelSmoothing,
+                    mitigation::TechniqueKind::kEnsemble};
+  cfg.hyperparams.ens_members = {models::Arch::kConvNet};
+  cfg.fault_levels = {
+      {faults::FaultSpec{faults::FaultType::kMislabelling, 30.0}}};
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Experiment, StudyProducesFullGrid) {
+  const StudyResult r = run_study(tiny_study());
+  ASSERT_EQ(r.cells.size(), 1U);
+  ASSERT_EQ(r.cells[0].size(), 3U);
+  for (const auto& cell : r.cells[0]) {
+    EXPECT_EQ(cell.trials.size(), 2U);
+    EXPECT_GE(cell.ad.mean, 0.0);
+    EXPECT_LE(cell.ad.mean, 1.0);
+    EXPECT_GE(cell.faulty_accuracy.mean, 0.0);
+    EXPECT_LE(cell.faulty_accuracy.mean, 1.0);
+    EXPECT_GT(cell.train_seconds.mean, 0.0);
+  }
+  EXPECT_EQ(r.golden_accuracy.n, 2U);
+  EXPECT_GT(r.golden_accuracy.mean, 0.0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const StudyResult a = run_study(tiny_study());
+  const StudyResult b = run_study(tiny_study());
+  EXPECT_EQ(a.golden_accuracy.mean, b.golden_accuracy.mean);
+  for (std::size_t t = 0; t < a.cells[0].size(); ++t) {
+    EXPECT_EQ(a.cells[0][t].ad.mean, b.cells[0][t].ad.mean);
+    EXPECT_EQ(a.cells[0][t].faulty_accuracy.mean,
+              b.cells[0][t].faulty_accuracy.mean);
+  }
+}
+
+TEST(Experiment, SeedChangesResults) {
+  StudyConfig cfg = tiny_study();
+  const StudyResult a = run_study(cfg);
+  cfg.seed = cfg.seed + 1;
+  const StudyResult b = run_study(cfg);
+  EXPECT_NE(a.golden_accuracy.mean, b.golden_accuracy.mean);
+}
+
+TEST(Experiment, EnsembleReportsItsInferenceCost) {
+  const StudyResult r = run_study(tiny_study());
+  EXPECT_DOUBLE_EQ(r.cell(0, mitigation::TechniqueKind::kEnsemble).inference_models,
+                   1.0);  // single-member ensemble in this tiny config
+  EXPECT_DOUBLE_EQ(r.cell(0, mitigation::TechniqueKind::kBaseline).inference_models,
+                   1.0);
+}
+
+TEST(Experiment, CellLookupByKind) {
+  const StudyResult r = run_study(tiny_study());
+  EXPECT_NO_THROW((void)r.cell(0, mitigation::TechniqueKind::kLabelSmoothing));
+  EXPECT_THROW((void)r.cell(0, mitigation::TechniqueKind::kRobustLoss),
+               ConfigError);
+  EXPECT_THROW((void)r.cell(5, mitigation::TechniqueKind::kBaseline),
+               InvariantError);
+}
+
+TEST(Experiment, FaultLevelNames) {
+  StudyConfig cfg = tiny_study();
+  cfg.fault_levels = {
+      {},
+      {faults::FaultSpec{faults::FaultType::kMislabelling, 10.0}},
+      {faults::FaultSpec{faults::FaultType::kMislabelling, 30.0},
+       faults::FaultSpec{faults::FaultType::kRemoval, 10.0}},
+  };
+  EXPECT_EQ(cfg.fault_level_name(0), "none");
+  EXPECT_EQ(cfg.fault_level_name(1), "mislabelling@10%");
+  EXPECT_EQ(cfg.fault_level_name(2), "mislabelling@30%+removal@10%");
+  EXPECT_THROW((void)cfg.fault_level_name(3), InvariantError);
+}
+
+TEST(Experiment, StandardSweepIsTenThirtyFifty) {
+  const auto sweep = standard_sweep(faults::FaultType::kRemoval);
+  ASSERT_EQ(sweep.size(), 3U);
+  EXPECT_EQ(sweep[0][0].percent, 10.0);
+  EXPECT_EQ(sweep[1][0].percent, 30.0);
+  EXPECT_EQ(sweep[2][0].percent, 50.0);
+  for (const auto& level : sweep) {
+    EXPECT_EQ(level[0].type, faults::FaultType::kRemoval);
+  }
+}
+
+TEST(Experiment, MultiModelStudySharesEnsembleResults) {
+  StudyConfig cfg = tiny_study();
+  const models::Arch archs[] = {models::Arch::kConvNet, models::Arch::kDeconvNet};
+  const auto results = run_multi_model_study(cfg, archs);
+  ASSERT_EQ(results.size(), 2U);
+  // The shared ensemble is trained once per (trial, level): its training
+  // time entries must be identical across the two panels.
+  const auto& e0 = results[0].cell(0, mitigation::TechniqueKind::kEnsemble);
+  const auto& e1 = results[1].cell(0, mitigation::TechniqueKind::kEnsemble);
+  ASSERT_EQ(e0.trials.size(), e1.trials.size());
+  for (std::size_t t = 0; t < e0.trials.size(); ++t) {
+    EXPECT_EQ(e0.trials[t].train_seconds, e1.trials[t].train_seconds);
+    EXPECT_EQ(e0.trials[t].faulty_accuracy, e1.trials[t].faulty_accuracy);
+  }
+  // Panel models differ, so their golden accuracies generally differ.
+  EXPECT_EQ(results[0].config.model, models::Arch::kConvNet);
+  EXPECT_EQ(results[1].config.model, models::Arch::kDeconvNet);
+}
+
+TEST(Experiment, RejectsDegenerateConfigs) {
+  StudyConfig cfg = tiny_study();
+  cfg.trials = 0;
+  EXPECT_THROW((void)run_study(cfg), InvariantError);
+  cfg = tiny_study();
+  cfg.techniques.clear();
+  EXPECT_THROW((void)run_study(cfg), InvariantError);
+  cfg = tiny_study();
+  cfg.fault_levels.clear();
+  EXPECT_THROW((void)run_study(cfg), InvariantError);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Report, AdTableMentionsEveryTechniqueAndLevel) {
+  const StudyResult r = run_study(tiny_study());
+  const std::string table = render_ad_table(r, "test table");
+  for (const char* needle : {"test table", "Base", "LS", "Ens", "mislabelling@30%"}) {
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, CsvHasHeaderPlusOneRowPerCell) {
+  const StudyResult r = run_study(tiny_study());
+  const std::string csv = render_csv(r);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, 1 + 3);  // header + 1 level x 3 techniques
+  EXPECT_NE(csv.find("pneumonia-sim,ConvNet,mislabelling@30%,Base"),
+            std::string::npos);
+}
+
+TEST(Report, WinnersSkipsBaseline) {
+  const StudyResult r = run_study(tiny_study());
+  const std::string winners = render_winners(r);
+  EXPECT_EQ(winners.find("Base "), std::string::npos);
+  EXPECT_NE(winners.find("most resilient"), std::string::npos);
+}
+
+TEST(Report, OverheadTableNormalisesToBaseline) {
+  const StudyResult r = run_study(tiny_study());
+  const std::string table = render_overhead_table(r, "overheads");
+  EXPECT_NE(table.find("1.00x"), std::string::npos);  // baseline row
+}
+
+}  // namespace
+}  // namespace tdfm::experiment

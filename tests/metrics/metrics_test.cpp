@@ -1,0 +1,128 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tdfm::metrics {
+namespace {
+
+TEST(Accuracy, BasicFractions) {
+  const std::vector<int> truth{0, 1, 2, 1};
+  EXPECT_DOUBLE_EQ(accuracy(truth, truth), 1.0);
+  const std::vector<int> none{1, 2, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy(none, truth), 0.0);
+  const std::vector<int> half{0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy(half, truth), 0.5);
+}
+
+TEST(Accuracy, MismatchedSpansThrow) {
+  const std::vector<int> a{1, 2};
+  const std::vector<int> b{1};
+  EXPECT_THROW((void)accuracy(a, b), InvariantError);
+  const std::vector<int> empty;
+  EXPECT_THROW((void)accuracy(empty, empty), InvariantError);
+}
+
+TEST(PerClassAccuracy, SplitsByTrueClass) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> preds{0, 1, 1, 1};
+  const auto pca = per_class_accuracy(preds, truth, 3);
+  EXPECT_DOUBLE_EQ(pca[0], 0.5);
+  EXPECT_DOUBLE_EQ(pca[1], 1.0);
+  EXPECT_DOUBLE_EQ(pca[2], 0.0);  // class absent
+}
+
+TEST(ConfusionMatrix, CountsPairs) {
+  const std::vector<int> truth{0, 0, 1, 1};
+  const std::vector<int> preds{0, 1, 1, 0};
+  const auto cm = confusion_matrix(preds, truth, 2);
+  EXPECT_EQ(cm[0 * 2 + 0], 1U);
+  EXPECT_EQ(cm[0 * 2 + 1], 1U);
+  EXPECT_EQ(cm[1 * 2 + 0], 1U);
+  EXPECT_EQ(cm[1 * 2 + 1], 1U);
+}
+
+// The AD definition from §III-C, exercised case by case:
+//   golden correct + faulty correct  -> not counted
+//   golden correct + faulty wrong    -> numerator
+//   golden wrong   + faulty wrong    -> excluded (no double counting)
+//   golden wrong   + faulty correct  -> excluded from AD; counted by rAD
+TEST(AccuracyDelta, DefinitionCases) {
+  const std::vector<int> truth{0, 0, 0, 0};
+  const std::vector<int> golden{0, 0, 1, 1};  // correct on 0, 1
+  const std::vector<int> faulty{0, 1, 1, 0};  // wrong on 1, 2; right on 0, 3
+  // Golden-correct set = {0, 1}; faulty wrong within it = {1} -> AD = 1/2.
+  EXPECT_DOUBLE_EQ(accuracy_delta(golden, faulty, truth), 0.5);
+  // Golden-wrong set = {2, 3}; faulty recovered {3} -> rAD = 1/2.
+  EXPECT_DOUBLE_EQ(reverse_accuracy_delta(golden, faulty, truth), 0.5);
+}
+
+TEST(AccuracyDelta, ZeroWhenFaultyMatchesGolden) {
+  const std::vector<int> truth{0, 1, 2};
+  const std::vector<int> preds{0, 1, 0};
+  EXPECT_DOUBLE_EQ(accuracy_delta(preds, preds, truth), 0.0);
+}
+
+TEST(AccuracyDelta, OneWhenFaultyLosesEverything) {
+  const std::vector<int> truth{0, 1};
+  const std::vector<int> golden{0, 1};
+  const std::vector<int> faulty{1, 0};
+  EXPECT_DOUBLE_EQ(accuracy_delta(golden, faulty, truth), 1.0);
+}
+
+TEST(AccuracyDelta, GoldenAllWrongGivesZero) {
+  const std::vector<int> truth{0, 0};
+  const std::vector<int> golden{1, 1};
+  const std::vector<int> faulty{0, 0};
+  EXPECT_DOUBLE_EQ(accuracy_delta(golden, faulty, truth), 0.0);
+}
+
+TEST(AccuracyDelta, DoesNotDoubleCountSharedMistakes) {
+  // Both models wrong on the same samples: AD must be 0, while the naive
+  // accuracy drop is also 0 here — the distinction appears when the faulty
+  // model trades mistakes (same accuracy, different samples).
+  const std::vector<int> truth{0, 0, 0, 0};
+  const std::vector<int> golden{0, 0, 1, 1};
+  const std::vector<int> traded{1, 1, 0, 0};  // same accuracy as golden
+  EXPECT_DOUBLE_EQ(naive_accuracy_drop(golden, traded, truth), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy_delta(golden, traded, truth), 1.0);  // AD sees it
+}
+
+TEST(NaiveDrop, ClampedAtZero) {
+  const std::vector<int> truth{0, 1};
+  const std::vector<int> golden{1, 0};  // 0%
+  const std::vector<int> faulty{0, 1};  // 100%
+  EXPECT_DOUBLE_EQ(naive_accuracy_drop(golden, faulty, truth), 0.0);
+}
+
+class AdRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdRangeTest, AlwaysWithinUnitInterval) {
+  // Property: AD and rAD are proportions for arbitrary prediction vectors.
+  const int seed = GetParam();
+  std::vector<int> truth(50), golden(50), faulty(50);
+  unsigned state = static_cast<unsigned>(seed);
+  auto next = [&state] {
+    state = state * 1664525U + 1013904223U;
+    return static_cast<int>((state >> 16) % 4);
+  };
+  for (std::size_t i = 0; i < 50; ++i) {
+    truth[i] = next();
+    golden[i] = next();
+    faulty[i] = next();
+  }
+  const double ad = accuracy_delta(golden, faulty, truth);
+  const double rad = reverse_accuracy_delta(golden, faulty, truth);
+  EXPECT_GE(ad, 0.0);
+  EXPECT_LE(ad, 1.0);
+  EXPECT_GE(rad, 0.0);
+  EXPECT_LE(rad, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdRangeTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace tdfm::metrics

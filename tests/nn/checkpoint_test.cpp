@@ -1,0 +1,81 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace tdfm::nn {
+namespace {
+
+std::unique_ptr<Network> make_net(Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(4, 8, rng);
+  body->emplace<ReLU>();
+  body->emplace<Dense>(8, 3, rng);
+  return std::make_unique<Network>("toy", std::move(body), 3);
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(Checkpoint, RoundTripRestoresWeights) {
+  Rng rng(1);
+  auto a = make_net(rng);
+  auto b = make_net(rng);  // different random init
+  const TempFile file("ckpt_roundtrip.bin");
+  save_checkpoint(*a, file.path);
+  ASSERT_NE(a->save_weights(), b->save_weights());
+  load_checkpoint(*b, file.path);
+  EXPECT_EQ(a->save_weights(), b->save_weights());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(2);
+  auto net = make_net(rng);
+  EXPECT_THROW(load_checkpoint(*net, "/nonexistent/dir/x.bin"), Error);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  Rng rng(3);
+  auto net = make_net(rng);
+  const TempFile file("ckpt_badmagic.bin");
+  std::ofstream(file.path, std::ios::binary) << "definitely not a checkpoint";
+  EXPECT_THROW(load_checkpoint(*net, file.path), Error);
+}
+
+TEST(Checkpoint, TruncatedFileRejected) {
+  Rng rng(4);
+  auto net = make_net(rng);
+  const TempFile file("ckpt_trunc.bin");
+  save_checkpoint(*net, file.path);
+  // Chop off the last 16 bytes.
+  std::ifstream in(file.path, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+      << blob.substr(0, blob.size() - 16);
+  EXPECT_THROW(load_checkpoint(*net, file.path), Error);
+}
+
+TEST(Checkpoint, WrongArchitectureRejected) {
+  Rng rng(5);
+  auto a = make_net(rng);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(4, 2, rng);  // structurally different
+  Network small("small", std::move(body), 2);
+  const TempFile file("ckpt_mismatch.bin");
+  save_checkpoint(*a, file.path);
+  EXPECT_THROW(load_checkpoint(small, file.path), Error);
+}
+
+}  // namespace
+}  // namespace tdfm::nn

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+
+namespace tdfm::nn {
+namespace {
+
+using test::random_tensor;
+
+TEST(Dense, OutputShapeAndBias) {
+  Rng rng(300);
+  Dense layer(4, 2, rng);
+  // Zero input isolates the bias (zero-initialised).
+  const Tensor y = layer.forward(Tensor(Shape{3, 4}), false);
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  for (std::size_t i = 0; i < y.numel(); ++i) EXPECT_EQ(y[i], 0.0F);
+  EXPECT_EQ(layer.parameter_count(), 4U * 2U + 2U);
+  EXPECT_EQ(layer.weight_layer_count(), 1U);
+}
+
+TEST(Dense, RejectsWrongInputWidth) {
+  Rng rng(301);
+  Dense layer(4, 2, rng);
+  EXPECT_THROW((void)layer.forward(Tensor(Shape{3, 5}), false), InvariantError);
+}
+
+TEST(Conv2D, OutputGeometry) {
+  Rng rng(302);
+  Conv2D same(3, 8, 16, 16, 3, 1, 1, rng);
+  EXPECT_EQ(same.forward(Tensor(Shape{2, 3, 16, 16}), false).shape(),
+            (Shape{2, 8, 16, 16}));
+  Conv2D strided(3, 8, 16, 16, 3, 2, 1, rng);
+  EXPECT_EQ(strided.forward(Tensor(Shape{2, 3, 16, 16}), false).shape(),
+            (Shape{2, 8, 8, 8}));
+  Conv2D pointwise(8, 4, 8, 8, 1, 1, 0, rng);
+  EXPECT_EQ(pointwise.forward(Tensor(Shape{1, 8, 8, 8}), false).shape(),
+            (Shape{1, 4, 8, 8}));
+}
+
+TEST(Conv2D, TranslatesInputShiftToOutputShift) {
+  // Convolution is shift-equivariant away from borders: shifting the input
+  // one pixel right shifts the output one pixel right.
+  Rng rng(303);
+  Conv2D conv(1, 1, 8, 8, 3, 1, 1, rng);
+  Tensor x(Shape{1, 1, 8, 8});
+  x.at(0, 0, 3, 3) = 1.0F;
+  Tensor xs(Shape{1, 1, 8, 8});
+  xs.at(0, 0, 3, 4) = 1.0F;
+  const Tensor y = conv.forward(x, false);
+  const Tensor ys = conv.forward(xs, false);
+  for (std::size_t r = 1; r < 7; ++r) {
+    for (std::size_t c = 1; c < 6; ++c) {
+      EXPECT_NEAR(y.at(0, 0, r, c), ys.at(0, 0, r, c + 1), 1e-6F);
+    }
+  }
+}
+
+TEST(ReLU, MasksNegatives) {
+  ReLU relu;
+  Tensor x(Shape{4});
+  x[0] = -1.0F;
+  x[1] = 2.0F;
+  x[2] = 0.0F;
+  x[3] = -0.5F;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0F);
+  EXPECT_EQ(y[1], 2.0F);
+  EXPECT_EQ(y[2], 0.0F);
+  Tensor g = Tensor::full(Shape{4}, 1.0F);
+  const Tensor gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0F);
+  EXPECT_EQ(gx[1], 1.0F);
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Rng rng(304);
+  Dropout drop(0.5F, rng);
+  const Tensor x = random_tensor(Shape{8, 8}, rng);
+  const Tensor y = drop.forward(x, /*training=*/false);
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Dropout, TrainingZeroesRoughlyPFraction) {
+  Rng rng(305);
+  Dropout drop(0.5F, rng);
+  const Tensor x = Tensor::full(Shape{10000}, 1.0F);
+  const Tensor y = drop.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y[i], 2.0F, 1e-6F);  // inverted scaling 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Dropout, PreservesExpectation) {
+  Rng rng(306);
+  Dropout drop(0.3F, rng);
+  const Tensor x = Tensor::full(Shape{20000}, 1.0F);
+  const Tensor y = drop.forward(x, true);
+  EXPECT_NEAR(mean(y), 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(307);
+  Dropout drop(0.5F, rng);
+  const Tensor x = Tensor::full(Shape{64}, 1.0F);
+  const Tensor y = drop.forward(x, true);
+  const Tensor gx = drop.backward(Tensor::full(Shape{64}, 1.0F));
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(gx[i], y[i]);  // same scaled mask applied to ones
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  Rng rng(308);
+  EXPECT_THROW(Dropout(1.0F, rng), InvariantError);
+  EXPECT_THROW(Dropout(-0.1F, rng), InvariantError);
+}
+
+TEST(MaxPool, PicksMaximumAndRoutesGradient) {
+  MaxPool2D pool(2);
+  Tensor x(Shape{1, 1, 2, 2});
+  x[0] = 1.0F;
+  x[1] = 5.0F;
+  x[2] = 2.0F;
+  x[3] = 3.0F;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_EQ(y[0], 5.0F);
+  const Tensor gx = pool.backward(Tensor::full(Shape{1, 1, 1, 1}, 2.0F));
+  EXPECT_EQ(gx[1], 2.0F);
+  EXPECT_EQ(gx[0], 0.0F);
+  EXPECT_EQ(gx[2], 0.0F);
+}
+
+TEST(MaxPool, RejectsIndivisibleDims) {
+  MaxPool2D pool(2);
+  EXPECT_THROW((void)pool.forward(Tensor(Shape{1, 1, 3, 4}), true), InvariantError);
+}
+
+TEST(AvgPool, AveragesAndSpreadsGradient) {
+  AvgPool2D pool(2);
+  Tensor x(Shape{1, 1, 2, 2});
+  x[0] = 1.0F;
+  x[1] = 2.0F;
+  x[2] = 3.0F;
+  x[3] = 6.0F;
+  const Tensor y = pool.forward(x, true);
+  EXPECT_NEAR(y[0], 3.0F, 1e-6F);
+  const Tensor gx = pool.backward(Tensor::full(Shape{1, 1, 1, 1}, 4.0F));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(gx[i], 1.0F, 1e-6F);
+}
+
+TEST(GlobalAvgPool, ReducesSpatialDims) {
+  GlobalAvgPool gap;
+  Tensor x(Shape{2, 3, 2, 2});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = 1.0F;
+  const Tensor y = gap.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_NEAR(y[0], 1.0F, 1e-6F);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  const Tensor x = Tensor::full(Shape{2, 3, 4, 5}, 1.0F);
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor gx = flat.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(BatchNorm, NormalisesPerChannelInTraining) {
+  BatchNorm2D bn(2);
+  Rng rng(309);
+  Tensor x = random_tensor(Shape{8, 2, 4, 4}, rng, 3.0F, 9.0F);
+  const Tensor y = bn.forward(x, true);
+  // Each channel of the output should be ~zero-mean unit-variance.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      for (std::size_t i = 0; i < 16; ++i) {
+        const float v = y.at(b, c, i / 4, i % 4);
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(sum / static_cast<double>(n), 0.0, 1e-3);
+    EXPECT_NEAR(sq / static_cast<double>(n), 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  BatchNorm2D bn(1);
+  Rng rng(310);
+  // Train on shifted data for several batches so the running stats adapt.
+  for (int i = 0; i < 50; ++i) {
+    Tensor x = random_tensor(Shape{8, 1, 2, 2}, rng, 4.0F, 6.0F);
+    (void)bn.forward(x, true);
+  }
+  Tensor probe = Tensor::full(Shape{1, 1, 2, 2}, 5.0F);
+  const Tensor y = bn.forward(probe, false);
+  // 5.0 is the approximate running mean -> output near zero.
+  EXPECT_NEAR(y[0], 0.0F, 0.3F);
+}
+
+TEST(Sequential, ComposesAndExposesParameters) {
+  Rng rng(311);
+  Sequential seq;
+  seq.emplace<Dense>(4, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(seq.size(), 3U);
+  EXPECT_EQ(seq.weight_layer_count(), 2U);
+  EXPECT_EQ(seq.parameters().size(), 4U);  // two weights + two biases
+  const Tensor y = seq.forward(Tensor(Shape{5, 4}), false);
+  EXPECT_EQ(y.shape(), (Shape{5, 2}));
+}
+
+TEST(Sequential, RejectsNullLayer) {
+  Sequential seq;
+  EXPECT_THROW(seq.add(nullptr), InvariantError);
+}
+
+}  // namespace
+}  // namespace tdfm::nn

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace tdfm::nn {
+namespace {
+
+using test::random_tensor;
+
+Parameter make_param(float value, float grad) {
+  Parameter p(Shape{1});
+  p.value[0] = value;
+  p.grad[0] = grad;
+  return p;
+}
+
+TEST(SGD, PlainStepDescendsGradient) {
+  Parameter p = make_param(1.0F, 0.5F);
+  SGD opt(0.1F, /*momentum=*/0.0F);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0F - 0.1F * 0.5F, 1e-6F);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Parameter p = make_param(0.0F, 1.0F);
+  SGD opt(1.0F, 0.5F);
+  opt.step({&p});  // v = 1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0F, 1e-6F);
+  opt.step({&p});  // v = 0.5 + 1 = 1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5F, 1e-6F);
+}
+
+TEST(SGD, WeightDecayShrinksWeights) {
+  Parameter p = make_param(2.0F, 0.0F);
+  SGD opt(0.1F, 0.0F, /*weight_decay=*/0.5F);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 2.0F - 0.1F * 0.5F * 2.0F, 1e-6F);
+}
+
+TEST(SGD, RejectsBadHyperparameters) {
+  EXPECT_THROW(SGD(0.0F), InvariantError);
+  EXPECT_THROW(SGD(0.1F, 1.0F), InvariantError);
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Parameter p = make_param(1.0F, 0.3F);
+  Adam opt(0.01F);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0F - 0.01F, 1e-4F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimise f(w) = (w - 3)^2 by feeding grad = 2(w - 3).
+  Parameter p = make_param(0.0F, 0.0F);
+  Adam opt(0.1F);
+  for (int i = 0; i < 300; ++i) {
+    p.grad[0] = 2.0F * (p.value[0] - 3.0F);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0F, 0.05F);
+}
+
+TEST(SGDVsAdam, BothReduceSimpleLoss) {
+  for (const bool use_adam : {false, true}) {
+    Rng rng(400);
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Dense>(4, 8, rng);
+    body->emplace<ReLU>();
+    body->emplace<Dense>(8, 3, rng);
+    Network net("toy", std::move(body), 3);
+
+    // Linearly separable toy data: class = argmax of first 3 inputs.
+    const std::size_t n = 48;
+    Tensor images(Shape{n, 4});
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) images.at(i, j) = rng.uniform(0.0F, 1.0F);
+      labels[i] = static_cast<int>(argmax(std::span<const float>(
+          images.data() + i * 4, 3)));
+    }
+    const Tensor targets = one_hot(labels, 3);
+    CrossEntropyLoss ce;
+    TrainOptions opts;
+    opts.epochs = 30;
+    opts.batch_size = 16;
+    opts.use_adam = use_adam;
+    opts.lr = use_adam ? 0.01F : 0.2F;
+    Trainer trainer(opts);
+    Rng fit_rng(42);
+    const double final_loss = trainer.fit(
+        net, images,
+        [&](const Tensor& logits, std::span<const std::size_t> idx, Tensor& grad) {
+          return ce.compute(logits, Trainer::gather(targets, idx), grad);
+        },
+        fit_rng);
+    EXPECT_LT(final_loss, 0.35) << (use_adam ? "adam" : "sgd");
+  }
+}
+
+TEST(Trainer, GatherSelectsRows) {
+  Tensor images(Shape{3, 2});
+  for (std::size_t i = 0; i < 6; ++i) images[i] = static_cast<float>(i);
+  const std::vector<std::size_t> idx{2, 0};
+  const Tensor batch = Trainer::gather(images, idx);
+  EXPECT_EQ(batch.shape(), (Shape{2, 2}));
+  EXPECT_EQ(batch.at(0, 0), 4.0F);
+  EXPECT_EQ(batch.at(1, 0), 0.0F);
+}
+
+TEST(Trainer, GatherOutOfRangeThrows) {
+  const Tensor images(Shape{2, 2});
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)Trainer::gather(images, idx), InvariantError);
+}
+
+TEST(Trainer, EpochHookRunsEveryEpoch) {
+  Rng rng(401);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(2, 2, rng);
+  Network net("toy", std::move(body), 2);
+  const Tensor images = random_tensor(Shape{8, 2}, rng);
+  const Tensor targets = one_hot(std::vector<int>(8, 0), 2);
+  CrossEntropyLoss ce;
+  TrainOptions opts;
+  opts.epochs = 5;
+  Trainer trainer(opts);
+  std::size_t calls = 0;
+  Rng fit_rng(1);
+  trainer.fit(
+      net, images,
+      [&](const Tensor& logits, std::span<const std::size_t> idx, Tensor& grad) {
+        return ce.compute(logits, Trainer::gather(targets, idx), grad);
+      },
+      fit_rng, [&](std::size_t epoch, Network&) {
+        EXPECT_EQ(epoch, calls);
+        ++calls;
+      });
+  EXPECT_EQ(calls, 5U);
+}
+
+TEST(Trainer, DeterministicGivenSameSeeds) {
+  const auto run = [] {
+    Rng rng(402);
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Dense>(3, 4, rng);
+    body->emplace<ReLU>();
+    body->emplace<Dense>(4, 2, rng);
+    Network net("toy", std::move(body), 2);
+    Rng data_rng(7);
+    const Tensor images = test::random_tensor(Shape{16, 3}, data_rng);
+    const Tensor targets = one_hot(std::vector<int>(16, 1), 2);
+    CrossEntropyLoss ce;
+    TrainOptions opts;
+    opts.epochs = 4;
+    Trainer trainer(opts);
+    Rng fit_rng(9);
+    trainer.fit(
+        net, images,
+        [&](const Tensor& logits, std::span<const std::size_t> idx, Tensor& grad) {
+          return ce.compute(logits, Trainer::gather(targets, idx), grad);
+        },
+        fit_rng);
+    return net.save_weights();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  Rng rng(403);
+  auto make = [&](Rng& r) {
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Dense>(3, 4, r);
+    body->emplace<Dense>(4, 2, r);
+    return std::make_unique<Network>("toy", std::move(body), 2);
+  };
+  auto a = make(rng);
+  auto b = make(rng);  // different init
+  const auto weights = a->save_weights();
+  b->load_weights(weights);
+  EXPECT_EQ(b->save_weights(), weights);
+  // Wrong-size blob rejected.
+  std::vector<float> tiny(3, 0.0F);
+  EXPECT_THROW(b->load_weights(tiny), InvariantError);
+}
+
+TEST(Network, CopyWeightsRequiresSameStructure) {
+  Rng rng(404);
+  auto body1 = std::make_unique<Sequential>();
+  body1->emplace<Dense>(3, 2, rng);
+  Network a("a", std::move(body1), 2);
+  auto body2 = std::make_unique<Sequential>();
+  body2->emplace<Dense>(4, 2, rng);
+  Network b("b", std::move(body2), 2);
+  EXPECT_THROW(a.copy_weights_from(b), InvariantError);
+}
+
+TEST(Network, PredictClassesMatchesArgmax) {
+  Rng rng(405);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(2, 3, rng);
+  Network net("toy", std::move(body), 3);
+  const Tensor images = random_tensor(Shape{10, 2}, rng);
+  const auto preds = predict_classes(net, images, /*batch_size=*/3);
+  const Tensor logits = net.logits(images, false);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(preds[i], static_cast<int>(argmax(logits.row(i))));
+  }
+}
+
+TEST(Network, PredictProbabilitiesRowsSumToOne) {
+  Rng rng(406);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(2, 4, rng);
+  Network net("toy", std::move(body), 4);
+  const Tensor images = random_tensor(Shape{7, 2}, rng);
+  const Tensor probs = predict_probabilities(net, images, 2.0F, 3);
+  EXPECT_EQ(probs.shape(), (Shape{7, 4}));
+  for (std::size_t i = 0; i < 7; ++i) {
+    double s = 0.0;
+    for (const float v : probs.row(i)) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace tdfm::nn

@@ -1,0 +1,191 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3U);
+  EXPECT_EQ(s.numel(), 24U);
+  EXPECT_EQ(s[0], 2U);
+  EXPECT_EQ(s[2], 4U);
+  EXPECT_THROW((void)s[3], InvariantError);
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.numel(), 1U);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ((Shape{1, 2}).to_string(), "[1, 2]"); }
+
+TEST(Tensor, ZeroInitialised) {
+  const Tensor t(Shape{4, 4});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, FullFills) {
+  const Tensor t = Tensor::full(Shape{3}, 2.5F);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(t[i], 2.5F);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW((void)t[4], InvariantError);
+}
+
+TEST(Tensor, TwoDAccess) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+  EXPECT_EQ(t.at(1, 2), 7.0F);
+}
+
+TEST(Tensor, FourDAccessMatchesRowMajorLayout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.0F;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped(Shape{3, 2});
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+}
+
+TEST(Tensor, ReshapeElementCountMismatchThrows) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_THROW((void)t.reshaped(Shape{7}), ShapeError);
+}
+
+TEST(Tensor, RowSpanViewsUnderlyingData) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 0) = 5.0F;
+  const auto row = t.row(1);
+  EXPECT_EQ(row.size(), 3U);
+  EXPECT_EQ(row[0], 5.0F);
+}
+
+TEST(Tensor, RowOnNonMatrixThrows) {
+  Tensor t(Shape{2, 3, 4});
+  EXPECT_THROW((void)t.row(0), InvariantError);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a = Tensor::full(Shape{4}, 1.0F);
+  const Tensor b = Tensor::full(Shape{4}, 2.0F);
+  a += b;
+  EXPECT_EQ(a[0], 3.0F);
+  a -= b;
+  EXPECT_EQ(a[0], 1.0F);
+  a *= 4.0F;
+  EXPECT_EQ(a[0], 4.0F);
+  a.add_scaled(b, 0.5F);
+  EXPECT_EQ(a[0], 5.0F);
+}
+
+TEST(Tensor, MismatchedArithmeticThrows) {
+  Tensor a(Shape{4});
+  const Tensor b(Shape{5});
+  EXPECT_THROW(a += b, InvariantError);
+  EXPECT_THROW(a -= b, InvariantError);
+  EXPECT_THROW(a.add_scaled(b, 1.0F), InvariantError);
+}
+
+// -------------------------------------------------------------- tensor_ops
+
+TEST(TensorOps, AddSubMulScale) {
+  Tensor a = Tensor::full(Shape{3}, 2.0F);
+  Tensor b = Tensor::full(Shape{3}, 3.0F);
+  EXPECT_EQ(add(a, b)[0], 5.0F);
+  EXPECT_EQ(sub(a, b)[0], -1.0F);
+  EXPECT_EQ(mul(a, b)[0], 6.0F);
+  EXPECT_EQ(scale(a, -2.0F)[0], -4.0F);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Tensor logits(Shape{2, 5});
+  for (std::size_t i = 0; i < 10; ++i) logits[i] = static_cast<float>(i) * 0.3F;
+  const Tensor p = softmax_rows(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0F;
+    for (const float v : p.row(r)) {
+      EXPECT_GT(v, 0.0F);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+}
+
+TEST(TensorOps, SoftmaxStableForLargeLogits) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 1000.0F;
+  logits[1] = 999.0F;
+  logits[2] = -1000.0F;
+  const Tensor p = softmax_rows(logits);
+  EXPECT_TRUE(all_finite(p));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(TensorOps, TemperatureSoftensDistribution) {
+  Tensor logits(Shape{1, 3});
+  logits[0] = 3.0F;
+  logits[1] = 1.0F;
+  logits[2] = 0.0F;
+  const Tensor sharp = softmax_rows(logits, 1.0F);
+  const Tensor soft = softmax_rows(logits, 4.0F);
+  EXPECT_GT(sharp[0], soft[0]);   // max prob decreases with temperature
+  EXPECT_LT(sharp[2], soft[2]);   // min prob increases
+}
+
+TEST(TensorOps, ArgmaxFirstOnTies) {
+  const std::vector<float> xs{1.0F, 3.0F, 3.0F, 0.0F};
+  EXPECT_EQ(argmax(xs), 1U);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor t(Shape{4});
+  t[0] = 1.0F;
+  t[1] = -2.0F;
+  t[2] = 3.0F;
+  t[3] = 0.0F;
+  EXPECT_DOUBLE_EQ(sum(t), 2.0);
+  EXPECT_DOUBLE_EQ(mean(t), 0.5);
+  EXPECT_EQ(max_abs(t), 3.0F);
+  EXPECT_DOUBLE_EQ(squared_norm(t), 14.0);
+}
+
+TEST(TensorOps, AllFiniteDetectsNan) {
+  Tensor t(Shape{3});
+  EXPECT_TRUE(all_finite(t));
+  t[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(all_finite(t));
+  t[1] = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(all_finite(t));
+}
+
+TEST(TensorOps, Clamp) {
+  Tensor t(Shape{3});
+  t[0] = -5.0F;
+  t[1] = 0.5F;
+  t[2] = 9.0F;
+  clamp_(t, 0.0F, 1.0F);
+  EXPECT_EQ(t[0], 0.0F);
+  EXPECT_EQ(t[1], 0.5F);
+  EXPECT_EQ(t[2], 1.0F);
+}
+
+}  // namespace
+}  // namespace tdfm
