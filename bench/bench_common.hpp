@@ -16,6 +16,7 @@
 #include "core/cli.hpp"
 #include "core/logging.hpp"
 #include "core/stopwatch.hpp"
+#include "core/thread_pool.hpp"
 #include "core/table.hpp"
 #include "experiment/experiment.hpp"
 #include "experiment/report.hpp"
@@ -28,6 +29,7 @@ struct BenchSettings {
   double scale = 0.65;
   std::size_t width = 8;
   std::uint64_t seed = 42;
+  std::size_t threads = 1;  ///< resolved worker-thread count (never 0)
 };
 
 /// Parses the common flags; returns false when --help was requested.
@@ -46,6 +48,10 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
   settings.scale = cli.get_double("scale");
   settings.seed = cli.get_u64("seed");
   set_log_level(parse_log_level(cli.get_string("log")));
+  const int threads = cli.get_int("threads");
+  TDFM_CHECK(threads >= 0, "--threads must be >= 0");
+  core::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  settings.threads = core::ThreadPool::global_threads();
   return true;
 }
 
@@ -63,6 +69,7 @@ inline experiment::StudyConfig base_study(const BenchSettings& s,
   cfg.model = model;
   cfg.trials = s.trials;
   cfg.train_opts.epochs = s.epochs;
+  cfg.train_opts.threads = s.threads;
   cfg.model_width = s.width;
   cfg.seed = s.seed;
   if (dataset == data::DatasetKind::kPneumoniaSim) {
@@ -95,6 +102,7 @@ inline void print_banner(const std::string& what, const BenchSettings& s) {
   std::cout << "=== " << what << " ===\n"
             << "settings: trials=" << s.trials << " epochs=" << s.epochs
             << " scale=" << s.scale << " seed=" << s.seed
+            << " threads=" << s.threads
             << "  (paper: 20 trials, full datasets)\n\n";
 }
 

@@ -8,12 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "faults/fault_injector.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/loss.hpp"
+#include "nn/trainer.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
 #include "tensor/init.hpp"
@@ -21,6 +23,18 @@
 namespace {
 
 using namespace tdfm;
+
+// Thread counts swept by the *Threads benchmarks: 1, 2, 4, and the machine's
+// hardware concurrency (deduplicated, capped at 8 to keep runs bounded).
+void thread_count_args(benchmark::internal::Benchmark* b) {
+  const auto hw = static_cast<std::int64_t>(core::ThreadPool::default_threads());
+  std::int64_t last = 0;
+  for (const std::int64_t t : {std::int64_t{1}, std::int64_t{2}, std::int64_t{4},
+                               std::min<std::int64_t>(hw, 8)}) {
+    if (t > last) b->Arg(t);
+    last = std::max(last, t);
+  }
+}
 
 void BM_GemmNN(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -35,6 +49,25 @@ void BM_GemmNN(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmNN)->Arg(64)->Arg(128)->Arg(256);
+
+// GEMM throughput vs pool size.  Per-row arithmetic is partition-invariant,
+// so C is bit-identical at every thread count — this sweep measures only
+// wall-clock scaling of the row-block partitioning.
+void BM_GemmNNThreads(benchmark::State& state) {
+  core::ThreadPool::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = 256;
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  Rng rng(1);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  for (auto _ : state) {
+    gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+  core::ThreadPool::set_global_threads(1);
+}
+BENCHMARK(BM_GemmNNThreads)->Apply(thread_count_args);
 
 void BM_Im2Col(benchmark::State& state) {
   const ConvGeometry g{8, 16, 16, 3, 1, 1};
@@ -59,6 +92,57 @@ void BM_Conv2DForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2DForwardBackward);
+
+// Conv2D forward+backward vs pool size (the dominant training cost).
+void BM_Conv2DThreads(benchmark::State& state) {
+  core::ThreadPool::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  nn::Conv2D conv(8, 16, 16, 16, 3, 1, 1, rng);
+  Tensor x(Shape{16, 8, 16, 16});
+  uniform_init(x, -1.0F, 1.0F, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    Tensor gx = conv.backward(y);
+    benchmark::DoNotOptimize(gx.data());
+  }
+  core::ThreadPool::set_global_threads(1);
+}
+BENCHMARK(BM_Conv2DThreads)->Apply(thread_count_args);
+
+// End-to-end training throughput vs pool size: one epoch of a small ConvNet
+// on synthetic traffic-sign data per iteration.  This is the number the
+// `--threads` flag exists for; the 4-thread row should show >= 1.5x the
+// items/s of the 1-thread row on a 4-core machine.
+void BM_TrainEpochThreads(benchmark::State& state) {
+  core::ThreadPool::set_global_threads(static_cast<std::size_t>(state.range(0)));
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kGtsrbSim;
+  spec.scale = 0.15;
+  const auto pair = data::generate(spec);
+  models::ModelConfig cfg = models::ModelConfig::for_dataset(spec);
+  cfg.width = 8;
+  const Tensor targets = nn::one_hot(pair.train.labels, pair.train.num_classes);
+  nn::TrainOptions opts;
+  opts.epochs = 1;
+  opts.auto_tune = false;
+  nn::CrossEntropyLoss ce;
+  Rng build_rng(7);
+  auto net = models::build_model(models::Arch::kConvNet, cfg, build_rng);
+  for (auto _ : state) {
+    nn::Trainer trainer(opts);
+    Rng fit_rng(9);
+    trainer.fit(*net, pair.train.images,
+                [&](const Tensor& logits, std::span<const std::size_t> idx,
+                    Tensor& grad) {
+                  return ce.compute(logits, nn::Trainer::gather(targets, idx), grad);
+                },
+                fit_rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pair.train.size()));
+  core::ThreadPool::set_global_threads(1);
+}
+BENCHMARK(BM_TrainEpochThreads)->Apply(thread_count_args)->Unit(benchmark::kMillisecond);
 
 void BM_DenseForwardBackward(benchmark::State& state) {
   Rng rng(3);

@@ -11,6 +11,60 @@
 // §5) in --verbose mode.
 #include "bench_common.hpp"
 
+#include "data/synthetic.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+// Times one training epoch of the technique-agnostic trainer at each thread
+// count and prints throughput plus speedup over the 1-thread row.  The
+// trained weights are bit-identical across rows (asserted in nn_tests); this
+// table shows what the `--threads` flag buys in wall-clock.
+void print_thread_sweep(const tdfm::bench::BenchSettings& s, tdfm::models::Arch model) {
+  using namespace tdfm;
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kGtsrbSim;
+  spec.scale = std::min(s.scale, 0.4);
+  const auto pair = data::generate(spec);
+  models::ModelConfig mc = models::ModelConfig::for_dataset(spec);
+  mc.width = s.width;
+  const Tensor targets = nn::one_hot(pair.train.labels, pair.train.num_classes);
+  nn::CrossEntropyLoss ce;
+  nn::TrainOptions opts;
+  opts.epochs = 2;
+  opts.auto_tune = false;
+
+  AsciiTable table({"threads", "train s", "samples/s", "speedup"});
+  double base_seconds = 0.0;
+  const std::size_t hw = core::ThreadPool::default_threads();
+  for (std::size_t t = 1; t <= std::max<std::size_t>(hw, 4); t *= 2) {
+    core::ThreadPool::set_global_threads(t);
+    Rng build_rng(s.seed);
+    auto net = models::build_model(model, mc, build_rng);
+    nn::Trainer trainer(opts);
+    Rng fit_rng(s.seed + 1);
+    Stopwatch watch;
+    trainer.fit(*net, pair.train.images,
+                [&](const Tensor& logits, std::span<const std::size_t> idx,
+                    Tensor& grad) {
+                  return ce.compute(logits, nn::Trainer::gather(targets, idx), grad);
+                },
+                fit_rng);
+    const double seconds = watch.elapsed_seconds();
+    if (t == 1) base_seconds = seconds;
+    const double samples =
+        static_cast<double>(pair.train.size() * opts.epochs) / seconds;
+    table.add_row({std::to_string(t), fixed(seconds, 3), fixed(samples, 0),
+                   fixed(base_seconds / seconds, 2) + "x"});
+  }
+  core::ThreadPool::set_global_threads(s.threads);
+  std::cout << "\nper-thread-count training throughput ("
+            << models::arch_name(model) << ", GTSRB-sim):\n"
+            << table.render();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
   using namespace tdfm;
   using namespace tdfm::bench;
@@ -18,6 +72,8 @@ int main(int argc, char** argv) try {
   CliParser cli;
   cli.add_flag("model", "ConvNet", "model under test");
   cli.add_flag("verbose", "false", "also print the AD-definition ablation");
+  cli.add_flag("thread-sweep", "false",
+               "also time training at 1..N threads and print the speedup table");
   BenchSettings s;
   if (!parse_bench_flags(argc, argv, cli, s, /*trials=*/1, /*epochs=*/8,
                          /*scale=*/0.4, /*width=*/8)) {
@@ -54,6 +110,8 @@ int main(int argc, char** argv) try {
     }
     std::cout << ab.render();
   }
+  if (cli.get_bool("thread-sweep")) print_thread_sweep(s, model);
+
   std::cout << "\npaper reference: inference 1x everywhere except Ens (5x); "
                "training LS ~1x, KD ~1.5x, LC high, Ens highest.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";

@@ -10,6 +10,7 @@
 
 #include "core/cli.hpp"
 #include "core/logging.hpp"
+#include "core/thread_pool.hpp"
 #include "experiment/experiment.hpp"
 #include "experiment/report.hpp"
 
@@ -27,8 +28,12 @@ int main(int argc, char** argv) try {
   cli.add_flag("width", "8", "model width");
   cli.add_flag("seed", "42", "master seed");
   cli.add_flag("csv", "false", "also dump CSV rows");
+  cli.add_flag("threads", "0",
+               "worker threads (0 = hardware concurrency, 1 = serial)");
   if (!cli.parse(argc, argv)) return 0;
   set_log_level(LogLevel::kWarn);
+  core::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(cli.get_int("threads")));
 
   experiment::StudyConfig cfg;
   cfg.dataset.kind = data::dataset_from_name(cli.get_string("dataset"));

@@ -11,6 +11,7 @@
 #include "core/cli.hpp"
 #include "core/stopwatch.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "faults/fault_injector.hpp"
 #include "metrics/metrics.hpp"
@@ -24,7 +25,11 @@ int main(int argc, char** argv) try {
   cli.add_flag("mislabel-percent", "10", "fraction of labels flipped");
   cli.add_flag("epochs", "20", "training epochs");
   cli.add_flag("seed", "21", "random seed");
+  cli.add_flag("threads", "0",
+               "worker threads (0 = hardware concurrency, 1 = serial)");
   if (!cli.parse(argc, argv)) return 0;
+  core::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(cli.get_int("threads")));
 
   // The Pneumonia-sim dataset: binary chest-X-ray analogue, deliberately
   // small (~120 train images) like the real 5.2k-image dataset relative to

@@ -8,6 +8,7 @@
 #include "core/cli.hpp"
 #include "core/logging.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "faults/fault_injector.hpp"
 #include "metrics/metrics.hpp"
@@ -22,8 +23,12 @@ int main(int argc, char** argv) try {
   cli.add_flag("fault-percent", "30", "percentage of training data to mislabel");
   cli.add_flag("epochs", "8", "training epochs");
   cli.add_flag("seed", "7", "random seed");
+  cli.add_flag("threads", "0",
+               "worker threads (0 = hardware concurrency, 1 = serial)");
   if (!cli.parse(argc, argv)) return 0;
   set_log_level(LogLevel::kInfo);
+  core::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(cli.get_int("threads")));
 
   // 1. Generate a dataset (GTSRB-like traffic signs, 43 classes).
   data::SyntheticSpec spec;

@@ -11,6 +11,7 @@
 
 #include "core/cli.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "faults/fault_injector.hpp"
 #include "metrics/metrics.hpp"
@@ -26,7 +27,11 @@ int main(int argc, char** argv) try {
   cli.add_flag("epochs", "10", "training epochs");
   cli.add_flag("scale", "0.5", "dataset scale");
   cli.add_flag("seed", "3", "random seed");
+  cli.add_flag("threads", "0",
+               "worker threads (0 = hardware concurrency, 1 = serial)");
   if (!cli.parse(argc, argv)) return 0;
+  core::ThreadPool::set_global_threads(
+      static_cast<std::size_t>(cli.get_int("threads")));
 
   data::SyntheticSpec spec;
   spec.kind = data::DatasetKind::kGtsrbSim;

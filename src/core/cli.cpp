@@ -113,6 +113,10 @@ void add_common_bench_flags(CliParser& cli, int default_trials, int default_epoc
   cli.add_flag("scale", std::to_string(default_scale), "dataset-size multiplier");
   cli.add_flag("seed", "42", "master random seed");
   cli.add_flag("log", "warn", "log level: debug|info|warn|error|off");
+  cli.add_flag("threads", "0",
+               "worker threads for training hot paths (0 = hardware "
+               "concurrency, 1 = serial); results are bit-identical for "
+               "every value");
 }
 
 }  // namespace tdfm

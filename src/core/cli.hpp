@@ -46,6 +46,7 @@ class CliParser {
 ///   --scale  (dataset-size multiplier, 1.0 = bench default)
 ///   --seed   (master seed)
 ///   --log    (debug|info|warn|error|off)
+///   --threads (worker threads; 0 = hardware concurrency, 1 = serial)
 void add_common_bench_flags(CliParser& cli, int default_trials, int default_epochs,
                             double default_scale = 1.0);
 

@@ -37,7 +37,16 @@ LogLevel parse_log_level(std::string_view name) {
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
   if (level < g_level.load() || msg.empty()) return;
-  std::cerr << '[' << level_tag(level) << "] " << msg << '\n';
+  // Compose the full line first so concurrent log statements (parallel
+  // ensemble members) cannot interleave mid-line.
+  std::string line;
+  line.reserve(msg.size() + 10);
+  line += '[';
+  line += level_tag(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::cerr << line;
 }
 }  // namespace detail
 

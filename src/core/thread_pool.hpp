@@ -1,0 +1,110 @@
+// Deterministic work-sharing thread pool.
+//
+// The training hot paths (GEMM row blocks, per-image im2col convolution,
+// ensemble member training) are embarrassingly parallel, but the repo's
+// bit-for-bit determinism guarantee (core/rng.hpp) forbids any construct
+// whose *result* depends on thread scheduling.  The pool therefore only
+// offers `for_range`: the caller partitions an index range into fixed
+// chunks, every chunk writes to disjoint outputs (or to per-chunk scratch
+// that the caller reduces in fixed order afterwards), and chunk *execution
+// order* is the only thing the scheduler may vary.  Under that contract the
+// computed bits are identical for any thread count, including 1.
+//
+// Nesting: a `for_range` issued from inside a pool worker runs inline on
+// that worker (no new tasks), so layer-level parallelism composes with
+// model-level parallelism (ensemble members) without deadlock and without
+// changing results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tdfm::core {
+
+class ThreadPool {
+ public:
+  /// Body invoked once per chunk with a half-open index subrange [lo, hi).
+  using RangeFn = std::function<void(std::size_t lo, std::size_t hi)>;
+
+  /// Creates a pool that runs work on `threads` threads total (the calling
+  /// thread participates, so `threads - 1` workers are spawned).  `threads`
+  /// is clamped to at least 1; a 1-thread pool executes everything inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads this pool uses (including the caller), >= 1.
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Runs `fn` over [begin, end) split into chunks of `grain` indices.
+  /// Blocks until every chunk has finished; rethrows the first exception a
+  /// chunk threw.  Chunks may run in any order and on any thread, so `fn`
+  /// must confine its writes to chunk-local state — results are then
+  /// bit-identical for every pool size.  Called from a pool worker (nested
+  /// parallelism) or on a 1-thread pool, the chunks run inline in ascending
+  /// order on the calling thread.
+  void for_range(std::size_t begin, std::size_t end, std::size_t grain,
+                 const RangeFn& fn);
+
+  /// True on threads owned by any ThreadPool (used to run nested parallel
+  /// regions inline).
+  [[nodiscard]] static bool in_worker();
+
+  /// Process-wide pool shared by the numeric kernels.  Created on first use
+  /// with `default_threads()` threads.
+  [[nodiscard]] static ThreadPool& global();
+
+  /// Replaces the global pool with an `n`-thread pool (0 = hardware
+  /// concurrency).  No-op if the size already matches or when called from a
+  /// pool worker; must not race in-flight work on the global pool, so call
+  /// it from the main thread between workloads (CLI startup, bench sweeps).
+  static void set_global_threads(std::size_t n);
+
+  /// Thread count of the global pool without forcing its creation early.
+  [[nodiscard]] static std::size_t global_threads();
+
+  /// Hardware concurrency with a floor of 1 (the CLI `--threads 0` default).
+  [[nodiscard]] static std::size_t default_threads();
+
+ private:
+  struct Job {
+    const RangeFn* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t grain = 1;
+    std::size_t end = 0;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  void execute_chunks(Job& job);
+
+  std::size_t size_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;       ///< currently running job (guarded by mu_)
+  std::uint64_t job_seq_ = 0;      ///< bumped per job so workers wake exactly once
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool — the call every hot loop makes.
+inline void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                         const ThreadPool::RangeFn& fn) {
+  ThreadPool::global().for_range(begin, end, grain, fn);
+}
+
+}  // namespace tdfm::core

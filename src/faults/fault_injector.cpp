@@ -1,6 +1,7 @@
 #include "faults/fault_injector.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "core/logging.hpp"
@@ -24,8 +25,11 @@ FaultType fault_from_name(std::string_view name) {
 }
 
 std::string FaultSpec::to_string() const {
-  return std::string(fault_name(type)) + "@" +
-         std::to_string(static_cast<int>(std::llround(percent))) + "%";
+  // Print the actual percentage with trailing zeros trimmed: rounding to an
+  // integer collapsed distinct specs (12.5% and 13%) onto one report key.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", percent);
+  return std::string(fault_name(type)) + "@" + buf + "%";
 }
 
 namespace {

@@ -1,5 +1,6 @@
 #include "mitigation/ensemble.hpp"
 
+#include "core/thread_pool.hpp"
 #include "nn/loss.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -49,18 +50,32 @@ std::unique_ptr<Classifier> EnsembleTechnique::fit(const FitContext& ctx) {
   ctx.validate();
   auto targets = std::make_shared<Tensor>(
       nn::one_hot(ctx.train->labels, ctx.train->num_classes));
-  std::vector<std::unique_ptr<nn::Network>> trained;
-  trained.reserve(members_.size());
+  // Fork every member's init/shuffle streams up front, consuming ctx.rng in
+  // the same order as the original serial loop; training can then proceed
+  // concurrently — each member owns its streams, network, and optimiser, so
+  // member-level parallelism is determinism-safe by construction.
+  struct MemberStreams {
+    Rng model_rng;
+    Rng train_rng;
+  };
+  std::vector<MemberStreams> streams;
+  streams.reserve(members_.size());
   for (std::size_t m = 0; m < members_.size(); ++m) {
     Rng model_rng = ctx.rng->fork(0xe500u + m);
-    auto net = models::build_model(members_[m], ctx.model_config, model_rng);
-    nn::Trainer trainer(ctx.options_for(members_[m]));
     Rng train_rng = ctx.rng->fork(0x7171u + m);
-    trainer.fit(*net, ctx.train->images,
-                make_target_loss(std::make_shared<nn::CrossEntropyLoss>(), targets),
-                train_rng);
-    trained.push_back(std::move(net));
+    streams.push_back(MemberStreams{model_rng, train_rng});
   }
+  std::vector<std::unique_ptr<nn::Network>> trained(members_.size());
+  core::parallel_for(0, members_.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t m = lo; m < hi; ++m) {
+      auto net = models::build_model(members_[m], ctx.model_config, streams[m].model_rng);
+      nn::Trainer trainer(ctx.options_for(members_[m]));
+      trainer.fit(*net, ctx.train->images,
+                  make_target_loss(std::make_shared<nn::CrossEntropyLoss>(), targets),
+                  streams[m].train_rng);
+      trained[m] = std::move(net);
+    }
+  });
   return std::make_unique<EnsembleClassifier>(std::move(trained));
 }
 

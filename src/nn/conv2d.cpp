@@ -1,7 +1,9 @@
 #include "nn/conv2d.hpp"
 
 #include <cstring>
+#include <vector>
 
+#include "core/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
 
@@ -12,6 +14,23 @@ namespace tdfm::nn {
 // this library's layer sizes (tens of channels, <=16x16 maps) beats batching
 // all images into one wide, cache-evicting GEMM — measured ~25% faster end
 // to end on a single core.
+//
+// Parallelism (core/thread_pool.hpp) splits the batch across threads.  The
+// forward pass and the input gradient write disjoint per-image slices, so
+// they parallelise directly.  Weight/bias gradients are a sum over images;
+// to keep them bit-identical for every thread count, each image's
+// contribution is written to its own scratch slice in parallel, then the
+// slices are reduced into the parameter gradients serially in image order —
+// the exact addition sequence of the single-threaded loop.
+
+namespace {
+// Images per parallel chunk: aim for a handful of chunks per thread so the
+// scheduler can balance uneven progress without drowning in tiny tasks.
+std::size_t batch_grain(std::size_t batch) {
+  const std::size_t threads = core::ThreadPool::global_threads();
+  return std::max<std::size_t>(1, batch / (threads * 4));
+}
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_c, std::size_t out_c, std::size_t in_h,
                std::size_t in_w, std::size_t kernel, std::size_t stride,
@@ -35,21 +54,23 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t ow = geom_.out_w();
   const std::size_t pr = geom_.patch_rows();
   const std::size_t pc = geom_.patch_cols();
-  columns_.resize(pr * pc);
   Tensor out(Shape{batch, out_c_, oh, ow});
   const std::size_t in_stride = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::size_t out_stride = out_c_ * oh * ow;
-  for (std::size_t b = 0; b < batch; ++b) {
-    im2col(geom_, input.data() + b * in_stride, columns_.data());
-    // out[out_c, oh*ow] = W[out_c, pr] * columns[pr, pc]
-    gemm_nn(out_c_, pc, pr, weight_.value.data(), columns_.data(),
-            out.data() + b * out_stride);
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      float* plane = out.data() + b * out_stride + oc * oh * ow;
-      const float bv = bias_.value[oc];
-      for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bv;
+  core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> columns(pr * pc);  // chunk-local patch matrix
+    for (std::size_t b = b0; b < b1; ++b) {
+      im2col(geom_, input.data() + b * in_stride, columns.data());
+      // out[out_c, oh*ow] = W[out_c, pr] * columns[pr, pc]
+      gemm_nn(out_c_, pc, pr, weight_.value.data(), columns.data(),
+              out.data() + b * out_stride);
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        float* plane = out.data() + b * out_stride + oc * oh * ow;
+        const float bv = bias_.value[oc];
+        for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bv;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -64,26 +85,43 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
                  grad_output.dim(3) == ow,
              "Conv2D grad_output shape mismatch");
   Tensor grad_input(cached_input_.shape());
-  grad_columns_.resize(pr * pc);
   const std::size_t in_stride = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::size_t out_stride = out_c_ * oh * ow;
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* gout = grad_output.data() + b * out_stride;
-    // Recompute the patch matrix (cheaper than caching one per batch image).
-    im2col(geom_, cached_input_.data() + b * in_stride, columns_.data());
-    // dW[out_c, pr] += dY[out_c, pc] * columns[pr, pc]^T
-    gemm_nt(out_c_, pr, pc, gout, columns_.data(), weight_.grad.data(),
-            /*accumulate=*/true);
-    // db[oc] += sum of dY plane
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      const float* plane = gout + oc * oh * ow;
-      float acc = 0.0F;
-      for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
-      bias_.grad[oc] += acc;
+  // Per-image dW/db contributions land in disjoint scratch slices; reduced
+  // serially below in image order so every thread count adds in the same
+  // sequence as the single-threaded loop.
+  const std::size_t wsize = out_c_ * pr;
+  const std::size_t slice = wsize + out_c_;
+  grad_scratch_.resize(batch * slice);
+  core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> columns(pr * pc);
+    std::vector<float> grad_columns(pr * pc);
+    for (std::size_t b = b0; b < b1; ++b) {
+      const float* gout = grad_output.data() + b * out_stride;
+      float* dw = grad_scratch_.data() + b * slice;
+      float* db = dw + wsize;
+      // Recompute the patch matrix (cheaper than caching one per batch image).
+      im2col(geom_, cached_input_.data() + b * in_stride, columns.data());
+      // dW_b[out_c, pr] = dY[out_c, pc] * columns[pr, pc]^T
+      gemm_nt(out_c_, pr, pc, gout, columns.data(), dw, /*accumulate=*/false);
+      // db_b[oc] = sum of dY plane
+      for (std::size_t oc = 0; oc < out_c_; ++oc) {
+        const float* plane = gout + oc * oh * ow;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
+        db[oc] = acc;
+      }
+      // dColumns[pr, pc] = W[out_c, pr]^T * dY[out_c, pc]
+      gemm_tn(pr, pc, out_c_, weight_.value.data(), gout, grad_columns.data());
+      col2im(geom_, grad_columns.data(), grad_input.data() + b * in_stride);
     }
-    // dColumns[pr, pc] = W[out_c, pr]^T * dY[out_c, pc]
-    gemm_tn(pr, pc, out_c_, weight_.value.data(), gout, grad_columns_.data());
-    col2im(geom_, grad_columns_.data(), grad_input.data() + b * in_stride);
+  });
+  // Fixed-order reduction: identical bits regardless of thread count.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* dw = grad_scratch_.data() + b * slice;
+    for (std::size_t i = 0; i < wsize; ++i) weight_.grad[i] += dw[i];
+    const float* db = dw + wsize;
+    for (std::size_t oc = 0; oc < out_c_; ++oc) bias_.grad[oc] += db[oc];
   }
   return grad_input;
 }
@@ -114,20 +152,22 @@ Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t ow = geom_.out_w();
   const std::size_t pr = geom_.patch_rows();  // k*k (single channel)
   const std::size_t pc = geom_.patch_cols();
-  columns_.resize(pr * pc);
   Tensor out(Shape{batch, channels_, oh, ow});
   const std::size_t plane_in = geom_.in_h * geom_.in_w;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels_; ++c) {
-      const float* src = cached_input_.data() + (b * channels_ + c) * plane_in;
-      im2col(geom_, src, columns_.data());
-      float* dst = out.data() + (b * channels_ + c) * pc;
-      // 1 x pc row = filter[1, k*k] * columns[k*k, pc]
-      gemm_nn(1, pc, pr, weight_.value.data() + c * pr, columns_.data(), dst);
-      const float bv = bias_.value[c];
-      for (std::size_t i = 0; i < pc; ++i) dst[i] += bv;
+  core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> columns(pr * pc);
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float* src = cached_input_.data() + (b * channels_ + c) * plane_in;
+        im2col(geom_, src, columns.data());
+        float* dst = out.data() + (b * channels_ + c) * pc;
+        // 1 x pc row = filter[1, k*k] * columns[k*k, pc]
+        gemm_nn(1, pc, pr, weight_.value.data() + c * pr, columns.data(), dst);
+        const float bv = bias_.value[c];
+        for (std::size_t i = 0; i < pc; ++i) dst[i] += bv;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -142,24 +182,40 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_output) {
                  grad_output.dim(3) == ow,
              "DepthwiseConv2D grad_output shape mismatch");
   Tensor grad_input(cached_input_.shape());
-  grad_columns_.resize(pr * pc);
   const std::size_t plane_in = geom_.in_h * geom_.in_w;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t c = 0; c < channels_; ++c) {
-      const float* src = cached_input_.data() + (b * channels_ + c) * plane_in;
-      const float* gout = grad_output.data() + (b * channels_ + c) * pc;
-      im2col(geom_, src, columns_.data());
-      // dW[c, k*k] += dY[1, pc] * columns[k*k, pc]^T
-      gemm_nt(1, pr, pc, gout, columns_.data(), weight_.grad.data() + c * pr,
-              /*accumulate=*/true);
-      float acc = 0.0F;
-      for (std::size_t i = 0; i < pc; ++i) acc += gout[i];
-      bias_.grad[c] += acc;
-      // dColumns = W[c]^T * dY
-      gemm_tn(pr, pc, 1, weight_.value.data() + c * pr, gout, grad_columns_.data());
-      col2im(geom_, grad_columns_.data(),
-             grad_input.data() + (b * channels_ + c) * plane_in);
+  const std::size_t wsize = channels_ * pr;
+  const std::size_t slice = wsize + channels_;
+  grad_scratch_.resize(batch * slice);
+  core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
+    std::vector<float> columns(pr * pc);
+    std::vector<float> grad_columns(pr * pc);
+    for (std::size_t b = b0; b < b1; ++b) {
+      float* dw = grad_scratch_.data() + b * slice;
+      float* db = dw + wsize;
+      for (std::size_t c = 0; c < channels_; ++c) {
+        const float* src = cached_input_.data() + (b * channels_ + c) * plane_in;
+        const float* gout = grad_output.data() + (b * channels_ + c) * pc;
+        im2col(geom_, src, columns.data());
+        // dW_b[c, k*k] = dY[1, pc] * columns[k*k, pc]^T
+        gemm_nt(1, pr, pc, gout, columns.data(), dw + c * pr,
+                /*accumulate=*/false);
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < pc; ++i) acc += gout[i];
+        db[c] = acc;
+        // dColumns = W[c]^T * dY
+        gemm_tn(pr, pc, 1, weight_.value.data() + c * pr, gout, grad_columns.data());
+        col2im(geom_, grad_columns.data(),
+               grad_input.data() + (b * channels_ + c) * plane_in);
+      }
     }
+  });
+  // Image-order reduction, matching the serial loop's addition sequence
+  // (b outer, c inner) per weight element.
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* dw = grad_scratch_.data() + b * slice;
+    for (std::size_t i = 0; i < wsize; ++i) weight_.grad[i] += dw[i];
+    const float* db = dw + wsize;
+    for (std::size_t c = 0; c < channels_; ++c) bias_.grad[c] += db[c];
   }
   return grad_input;
 }

@@ -29,9 +29,9 @@ class Conv2D final : public Layer {
   Parameter weight_;  ///< [out_c, C*k*k]
   Parameter bias_;    ///< [out_c]
   Tensor cached_input_;
-  std::vector<float> columns_;       ///< batched patch matrix [pr, B*pc]
-  std::vector<float> scratch_;       ///< GEMM output / re-laid-out gradients
-  std::vector<float> grad_columns_;  ///< patch-matrix gradient
+  /// Per-image dW/db contributions [B, out_c*pr + out_c], filled in parallel
+  /// and reduced in image order so gradients are thread-count-invariant.
+  std::vector<float> grad_scratch_;
 };
 
 /// Depthwise convolution (MobileNet): each input channel is convolved with
@@ -53,9 +53,8 @@ class DepthwiseConv2D final : public Layer {
   Parameter weight_;  ///< [channels, k*k]
   Parameter bias_;    ///< [channels]
   Tensor cached_input_;
-  std::vector<float> columns_;       ///< batched per-channel patch matrix
-  std::vector<float> scratch_;       ///< per-channel dY row [1, B*pc]
-  std::vector<float> grad_columns_;
+  /// Per-image dW/db contributions [B, channels*k*k + channels]; see Conv2D.
+  std::vector<float> grad_scratch_;
 };
 
 }  // namespace tdfm::nn

@@ -18,6 +18,11 @@ class Optimizer {
   /// them before the next batch).
   virtual void step(const std::vector<Parameter*>& params) = 0;
 
+  /// Replaces the base learning rate (per-epoch decay schedules).  Adam's
+  /// adaptive scaling composes with this — decay shrinks the step ceiling.
+  virtual void set_lr(float lr) = 0;
+  [[nodiscard]] virtual float lr() const = 0;
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
@@ -29,8 +34,8 @@ class SGD final : public Optimizer {
   void step(const std::vector<Parameter*>& params) override;
   [[nodiscard]] std::string name() const override { return "SGD"; }
 
-  void set_lr(float lr) { lr_ = lr; }
-  [[nodiscard]] float lr() const { return lr_; }
+  void set_lr(float lr) override { lr_ = lr; }
+  [[nodiscard]] float lr() const override { return lr_; }
 
  private:
   float lr_;
@@ -47,6 +52,9 @@ class Adam final : public Optimizer {
 
   void step(const std::vector<Parameter*>& params) override;
   [[nodiscard]] std::string name() const override { return "Adam"; }
+
+  void set_lr(float lr) override { lr_ = lr; }
+  [[nodiscard]] float lr() const override { return lr_; }
 
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/logging.hpp"
+#include "core/thread_pool.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tdfm::nn {
@@ -28,14 +29,16 @@ double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
   TDFM_CHECK(opts_.epochs > 0 && opts_.batch_size > 0, "bad train options");
   const std::size_t n = images.dim(0);
 
+  // A per-fit thread request resizes the shared pool (no-op when already
+  // that size, or when this fit itself runs on a pool worker — e.g. an
+  // ensemble member — where layer parallelism runs inline anyway).
+  if (opts_.threads > 0) core::ThreadPool::set_global_threads(opts_.threads);
+
   std::unique_ptr<Optimizer> opt;
-  auto sgd = std::make_unique<SGD>(opts_.lr, opts_.momentum, opts_.weight_decay);
-  SGD* sgd_raw = sgd.get();
   if (opts_.use_adam) {
     opt = std::make_unique<Adam>(opts_.lr, 0.9F, 0.999F, 1e-8F, opts_.weight_decay);
-    sgd_raw = nullptr;
   } else {
-    opt = std::move(sgd);
+    opt = std::make_unique<SGD>(opts_.lr, opts_.momentum, opts_.weight_decay);
   }
 
   std::vector<std::size_t> order(n);
@@ -46,8 +49,9 @@ double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
   float lr = opts_.lr;
   for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
     if (opts_.shuffle) rng.shuffle(order);
-    epoch_loss = 0.0;
-    std::size_t batches = 0;
+    // Epoch loss is the sample-weighted mean of the batch means: the final
+    // partial batch contributes in proportion to its size, not 1/batches.
+    double loss_sum = 0.0;
     for (std::size_t start = 0; start < n; start += opts_.batch_size) {
       const std::size_t count = std::min(opts_.batch_size, n - start);
       const std::span<const std::size_t> idx(order.data() + start, count);
@@ -55,18 +59,17 @@ double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
       net.zero_grad();
       const Tensor logits = net.logits(batch, /*training=*/true);
       Tensor grad_logits;
-      epoch_loss += loss_fn(logits, idx, grad_logits);
+      loss_sum += loss_fn(logits, idx, grad_logits) * static_cast<double>(count);
       TDFM_CHECK(grad_logits.shape() == logits.shape(),
                  "loss callback must produce a gradient per logit");
       net.backward(grad_logits);
       opt->step(params);
-      ++batches;
     }
-    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
-    if (sgd_raw != nullptr) {
-      lr *= opts_.lr_decay;
-      sgd_raw->set_lr(lr);
-    }
+    epoch_loss = loss_sum / static_cast<double>(n);
+    // Per-epoch decay applies to both optimisers; Adam previously ignored
+    // it silently, skewing technique comparisons across optimiser choices.
+    lr *= opts_.lr_decay;
+    opt->set_lr(lr);
     TDFM_LOG(kDebug) << net.name() << " epoch " << epoch + 1 << '/' << opts_.epochs
                      << " loss " << epoch_loss;
     if (on_epoch_end) on_epoch_end(epoch, net);

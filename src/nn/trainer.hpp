@@ -24,9 +24,14 @@ struct TrainOptions {
   float lr = 0.05F;
   float momentum = 0.9F;
   float weight_decay = 1e-4F;
-  float lr_decay = 0.95F;  ///< multiplicative per-epoch decay
+  float lr_decay = 0.95F;  ///< multiplicative per-epoch decay (SGD and Adam)
   bool shuffle = true;
   bool use_adam = false;
+  /// Worker threads for the training hot paths (GEMM row blocks, per-image
+  /// convolution, ensemble members).  0 = keep the current global pool;
+  /// 1 = fully serial; results are bit-identical for every value
+  /// (core/thread_pool.hpp).  Set from the CLI `--threads` flag.
+  std::size_t threads = 0;
   /// Allow the model zoo to override optimiser/lr per architecture
   /// (models::tuned_options).  Set false to force the values above.
   bool auto_tune = true;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/thread_pool.hpp"
+
 namespace tdfm {
 
 namespace {
@@ -12,66 +14,88 @@ namespace {
 constexpr std::size_t kBlockM = 64;
 constexpr std::size_t kBlockN = 256;
 constexpr std::size_t kBlockK = 256;
+
+// Minimum FLOPs a parallel chunk should carry; below this the scheduling
+// overhead outweighs the work, so small GEMMs stay on one thread.
+constexpr std::size_t kMinFlopsPerChunk = 1U << 19;
+
+// Rows of C per parallel chunk.  Every row's arithmetic is independent of
+// the partition (the k/n traversal order within a row never changes), so
+// any grain yields bit-identical results — the choice is purely about
+// amortising scheduling overhead.
+std::size_t row_grain(std::size_t m, std::size_t n, std::size_t k) {
+  const std::size_t flops_per_row = 2 * n * k;
+  if (flops_per_row == 0) return m;
+  return std::clamp<std::size_t>(kMinFlopsPerChunk / flops_per_row, 1, std::max<std::size_t>(m, 1));
+}
 }  // namespace
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, m);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t j1 = std::min(j0 + kBlockN, n);
-        for (std::size_t i = i0; i < i1; ++i) {
-          float* __restrict__ crow = c + i * n;
-          for (std::size_t p = p0; p < p1; ++p) {
-            const float av = a[i * k + p];
-            const float* __restrict__ brow = b + p * n;
-            for (std::size_t j = j0; j < j1; ++j) {
-              crow[j] += av * brow[j];
+  core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
+    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+    for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const std::size_t i1 = std::min(i0 + kBlockM, r1);
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+        const std::size_t p1 = std::min(p0 + kBlockK, k);
+        for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::size_t j1 = std::min(j0 + kBlockN, n);
+          for (std::size_t i = i0; i < i1; ++i) {
+            float* __restrict__ crow = c + i * n;
+            for (std::size_t p = p0; p < p1; ++p) {
+              const float av = a[i * k + p];
+              const float* __restrict__ brow = b + p * n;
+              for (std::size_t j = j0; j < j1; ++j) {
+                crow[j] += av * brow[j];
+              }
             }
           }
         }
       }
     }
-  }
+  });
 }
 
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
   // C[i,j] = dot(A[i,:], B[j,:]) — both operands are traversed row-wise, so
   // a straightforward dot-product loop is already cache-friendly.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* __restrict__ arow = a + i * k;
-    float* __restrict__ crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* __restrict__ brow = b + j * k;
-      float acc = 0.0F;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = accumulate ? crow[j] + acc : acc;
+  core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* __restrict__ arow = a + i * k;
+      float* __restrict__ crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* __restrict__ brow = b + j * k;
+        float acc = 0.0F;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = accumulate ? crow[j] + acc : acc;
+      }
     }
-  }
+  });
 }
 
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
   // C[i,j] = sum_p A[p,i] * B[p,j].  Iterate p outermost so both A and B are
   // read row-wise; C rows are revisited but usually fit in cache (m*n small
-  // for weight gradients).
-  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* __restrict__ arow = a + p * m;
-    const float* __restrict__ brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) continue;  // ReLU-sparse activations skip whole rows
-      float* __restrict__ crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
+  // for weight gradients).  Parallel chunks split the i range: each chunk
+  // still visits p in ascending order for its rows, so per-element addition
+  // order — and therefore every bit of C — is partition-independent.
+  core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
+    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* __restrict__ arow = a + p * m;
+      const float* __restrict__ brow = b + p * n;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float av = arow[i];
+        if (av == 0.0F) continue;  // ReLU-sparse activations skip whole rows
+        float* __restrict__ crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 }  // namespace tdfm

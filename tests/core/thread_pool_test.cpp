@@ -1,0 +1,152 @@
+// ThreadPool contract tests: coverage, chunking, nesting, exception
+// propagation, and the global-pool management used by the --threads flag.
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tdfm::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.for_range(0, n, 7, [&](std::size_t lo, std::size_t hi) {
+      ASSERT_LT(lo, hi);
+      ASSERT_LE(hi, n);
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkBoundsRespectGrain) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.for_range(10, 55, 10, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ((lo - 10) % 10, 0U);  // chunks start on grain boundaries
+    EXPECT_LE(hi - lo, 10U);
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 45U);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.for_range(5, 5, 1, [&](std::size_t, std::size_t) { called = true; });
+  pool.for_range(7, 3, 1, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, OversizedGrainRunsOneChunkInline) {
+  ThreadPool pool(4);
+  std::size_t calls = 0;  // safe without atomics: single chunk runs inline
+  pool.for_range(0, 10, 100, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0U);
+    EXPECT_EQ(hi, 10U);
+  });
+  EXPECT_EQ(calls, 1U);
+}
+
+TEST(ThreadPool, ZeroGrainIsClampedToOne) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.for_range(0, 8, 0, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 8U);
+}
+
+TEST(ThreadPool, NestedForRangeRunsInlineAndCoversRange) {
+  ThreadPool pool(4);
+  const std::size_t outer = 8;
+  const std::size_t inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.for_range(0, outer, 1, [&](std::size_t o0, std::size_t o1) {
+    for (std::size_t o = o0; o < o1; ++o) {
+      // Nested call must run inline on this thread (no deadlock, no
+      // re-entrant scheduling) — the contract ensemble + conv rely on.
+      pool.for_range(0, inner, 3, [&](std::size_t i0, std::size_t i1) {
+        EXPECT_TRUE(ThreadPool::in_worker());
+        for (std::size_t i = i0; i < i1; ++i) hits[o * inner + i].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesChunkExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.for_range(0, 100, 1,
+                     [&](std::size_t lo, std::size_t) {
+                       if (lo == 42) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // Pool must stay usable after an exception.
+  std::atomic<std::size_t> total{0};
+  pool.for_range(0, 10, 1, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 10U);
+}
+
+TEST(ThreadPool, ResultsAreIdenticalForEveryThreadCount) {
+  // Partition-invariant body: every index computes independently, so the
+  // output vector must be bitwise identical regardless of pool size.
+  const std::size_t n = 512;
+  std::vector<float> serial(n);
+  {
+    ThreadPool pool(1);
+    pool.for_range(0, n, 13, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        serial[i] = static_cast<float>(i) * 0.37F + 1.0F / static_cast<float>(i + 1);
+      }
+    });
+  }
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<float> out(n, -1.0F);
+    pool.for_range(0, n, 13, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = static_cast<float>(i) * 0.37F + 1.0F / static_cast<float>(i + 1);
+      }
+    });
+    EXPECT_EQ(out, serial) << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, GlobalPoolResizeRoundTrips) {
+  const std::size_t before = ThreadPool::global_threads();
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global_threads(), 3U);
+  EXPECT_EQ(ThreadPool::global().size(), 3U);
+  ThreadPool::set_global_threads(0);  // 0 = hardware concurrency
+  EXPECT_EQ(ThreadPool::global_threads(), ThreadPool::default_threads());
+  ThreadPool::set_global_threads(before);
+}
+
+TEST(ThreadPool, ParallelForUsesGlobalPool) {
+  ThreadPool::set_global_threads(2);
+  std::atomic<long> sum{0};
+  parallel_for(1, 101, 9, [&](std::size_t lo, std::size_t hi) {
+    long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long>(i);
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 5050);
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace tdfm::core

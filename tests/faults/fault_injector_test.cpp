@@ -177,6 +177,17 @@ TEST(FaultSpecTest, ToStringFormat) {
   EXPECT_EQ((FaultSpec{FaultType::kRemoval, 10.0}).to_string(), "removal@10%");
 }
 
+TEST(FaultSpecTest, ToStringKeepsFractionalPercentages) {
+  // Regression: the label used to round to the nearest integer, so sweep
+  // points like 12.5% and 13% collided in reports and CSV keys.
+  EXPECT_EQ((FaultSpec{FaultType::kMislabelling, 12.5}).to_string(),
+            "mislabelling@12.5%");
+  EXPECT_EQ((FaultSpec{FaultType::kRepetition, 0.1}).to_string(),
+            "repetition@0.1%");
+  // Whole numbers stay unpadded.
+  EXPECT_EQ((FaultSpec{FaultType::kRemoval, 5.0}).to_string(), "removal@5%");
+}
+
 class MislabelRateTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(MislabelRateTest, AffectedCountMatchesRate) {

@@ -1,0 +1,159 @@
+// Finite-difference checks for the robust-loss gradients.
+//
+// NCE and RCE implement true gradients of the returned loss value, so a
+// central difference on `compute` must match `grad_logits` directly.
+// LabelRelaxation deliberately uses the "practical" gradient that treats the
+// constructed target q_hat as a constant, so its FD check runs against a
+// surrogate: cross-entropy toward q_hat frozen at the base point, whose true
+// gradient (p - q_hat)/B is exactly what the implementation returns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/loss.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm::nn {
+namespace {
+
+constexpr float kEps = 1e-2F;
+constexpr double kRelTol = 5e-2;
+constexpr double kAbsTol = 1e-3;
+
+Tensor make_logits(std::size_t batch, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor logits(Shape{batch, k});
+  for (auto& x : logits.flat()) x = rng.normal() * 1.5F;
+  return logits;
+}
+
+// Central difference of `loss_at` with respect to logits.flat()[idx].
+template <typename LossAt>
+double fd_gradient(const Tensor& logits, std::size_t idx, const LossAt& loss_at) {
+  Tensor plus = logits;
+  plus.flat()[idx] += kEps;
+  Tensor minus = logits;
+  minus.flat()[idx] -= kEps;
+  return (loss_at(plus) - loss_at(minus)) / (2.0 * kEps);
+}
+
+void expect_matches_fd(const Tensor& logits, const Tensor& analytic,
+                       const std::function<double(const Tensor&)>& loss_at,
+                       const char* what) {
+  for (std::size_t idx = 0; idx < logits.numel(); ++idx) {
+    const double numeric = fd_gradient(logits, idx, loss_at);
+    const double a = analytic.flat()[idx];
+    const double scale = std::max({1.0, std::fabs(a), std::fabs(numeric)});
+    EXPECT_NEAR(a, numeric, kRelTol * scale + kAbsTol)
+        << what << " flat index " << idx;
+  }
+}
+
+TEST(LossGradientFD, NCEMatchesFiniteDifferences) {
+  const Tensor logits = make_logits(3, 5, 11);
+  const Tensor targets = one_hot(std::vector<int>{1, 4, 0}, 5);
+  NCELoss loss;
+  Tensor analytic;
+  loss.compute(logits, targets, analytic);
+  expect_matches_fd(logits, analytic,
+                    [&](const Tensor& z) {
+                      NCELoss l;
+                      Tensor g;
+                      return l.compute(z, targets, g);
+                    },
+                    "NCE");
+}
+
+TEST(LossGradientFD, RCEMatchesFiniteDifferencesOneHot) {
+  const Tensor logits = make_logits(3, 4, 12);
+  const Tensor targets = one_hot(std::vector<int>{2, 0, 3}, 4);
+  RCELoss loss;
+  Tensor analytic;
+  loss.compute(logits, targets, analytic);
+  expect_matches_fd(logits, analytic,
+                    [&](const Tensor& z) {
+                      RCELoss l;
+                      Tensor g;
+                      return l.compute(z, targets, g);
+                    },
+                    "RCE one-hot");
+}
+
+TEST(LossGradientFD, RCEMatchesFiniteDifferencesSoftTargets) {
+  const Tensor logits = make_logits(2, 4, 13);
+  // Soft targets, e.g. corrected labels from label cleaning.
+  Tensor targets(Shape{2, 4});
+  const float rows[2][4] = {{0.7F, 0.1F, 0.1F, 0.1F}, {0.05F, 0.05F, 0.8F, 0.1F}};
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t j = 0; j < 4; ++j) targets.at(b, j) = rows[b][j];
+  }
+  RCELoss loss;
+  Tensor analytic;
+  loss.compute(logits, targets, analytic);
+  expect_matches_fd(logits, analytic,
+                    [&](const Tensor& z) {
+                      RCELoss l;
+                      Tensor g;
+                      return l.compute(z, targets, g);
+                    },
+                    "RCE soft");
+}
+
+TEST(LossGradientFD, LabelRelaxationMatchesFrozenTargetSurrogate) {
+  const float alpha = 0.1F;
+  const std::size_t k = 5;
+  const Tensor logits = make_logits(3, k, 14);
+  // Pick each row's target as the *least* likely class so every row is
+  // active (p_y far below 1 - alpha) and stays active under +-eps probes.
+  const Tensor base_probs = softmax_rows(logits);
+  std::vector<int> labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    std::size_t worst = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (base_probs.at(b, j) < base_probs.at(b, worst)) worst = j;
+    }
+    labels.push_back(static_cast<int>(worst));
+  }
+  const Tensor targets = one_hot(labels, k);
+
+  LabelRelaxationLoss loss(alpha);
+  Tensor analytic;
+  loss.compute(logits, targets, analytic);
+
+  // q_hat frozen at the base point: 1 - alpha on the target class, alpha
+  // spread over the rest proportionally to the base predictive shape.
+  Tensor q_hat(Shape{3, k});
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto y = static_cast<std::size_t>(labels[b]);
+    const float rest = 1.0F - base_probs.at(b, y);
+    for (std::size_t j = 0; j < k; ++j) {
+      q_hat.at(b, j) =
+          (j == y) ? (1.0F - alpha) : alpha * base_probs.at(b, j) / rest;
+    }
+  }
+  // d/dz of CE(q_hat, softmax(z)) is (p - q_hat)/B — the practical gradient.
+  expect_matches_fd(logits, analytic,
+                    [&](const Tensor& z) {
+                      CrossEntropyLoss ce;
+                      Tensor g;
+                      return ce.compute(z, q_hat, g);
+                    },
+                    "LabelRelaxation");
+}
+
+TEST(LossGradientFD, LabelRelaxationInactiveRowHasZeroGradient) {
+  // A row already predicting the target above 1 - alpha sits inside the
+  // credal set: zero loss, zero gradient.
+  Tensor logits(Shape{1, 3});
+  logits.at(0, 0) = 8.0F;  // softmax ~ (0.999..., eps, eps)
+  const Tensor targets = one_hot(std::vector<int>{0}, 3);
+  LabelRelaxationLoss loss(0.1F);
+  Tensor grad;
+  const double value = loss.compute(logits, targets, grad);
+  EXPECT_EQ(value, 0.0);
+  for (const float g : grad.flat()) EXPECT_EQ(g, 0.0F);
+}
+
+}  // namespace
+}  // namespace tdfm::nn

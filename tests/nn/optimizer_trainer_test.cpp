@@ -92,6 +92,7 @@ TEST(SGDVsAdam, BothReduceSimpleLoss) {
     opts.batch_size = 16;
     opts.use_adam = use_adam;
     opts.lr = use_adam ? 0.01F : 0.2F;
+    opts.lr_decay = 1.0F;  // decay now reaches Adam too; hold lr constant here
     Trainer trainer(opts);
     Rng fit_rng(42);
     const double final_loss = trainer.fit(
@@ -102,6 +103,70 @@ TEST(SGDVsAdam, BothReduceSimpleLoss) {
         fit_rng);
     EXPECT_LT(final_loss, 0.35) << (use_adam ? "adam" : "sgd");
   }
+}
+
+TEST(Trainer, EpochLossWeightsPartialBatchBySampleCount) {
+  // 5 samples at batch_size 4 -> one full batch plus a 1-sample remainder.
+  // The loss callback returns the batch size, so the sample-weighted epoch
+  // mean is (4*4 + 1*1)/5 = 3.4.  A plain mean over batches would report
+  // (4 + 1)/2 = 2.5, overweighting the partial batch 4x.
+  Rng rng(410);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(2, 2, rng);
+  Network net("toy", std::move(body), 2);
+  const Tensor images = random_tensor(Shape{5, 2}, rng);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 4;
+  opts.shuffle = false;
+  Trainer trainer(opts);
+  Rng fit_rng(1);
+  const double epoch_loss = trainer.fit(
+      net, images,
+      [&](const Tensor& logits, std::span<const std::size_t> idx, Tensor& grad) {
+        grad = Tensor(logits.shape());  // zero gradient: weights stay put
+        return static_cast<double>(idx.size());
+      },
+      fit_rng);
+  EXPECT_NEAR(epoch_loss, 3.4, 1e-12);
+}
+
+TEST(Trainer, AdamHonoursLrDecay) {
+  // With lr_decay = 0 the learning rate hits zero after epoch one, so a
+  // 2-epoch Adam run must end exactly where the 1-epoch run ends.  Before
+  // the fix the decay was silently dropped on the Adam path and epoch two
+  // kept moving the weights.
+  const auto train = [](std::size_t epochs, float lr_decay) {
+    Rng rng(411);
+    auto body = std::make_unique<Sequential>();
+    body->emplace<Dense>(3, 4, rng);
+    body->emplace<ReLU>();
+    body->emplace<Dense>(4, 2, rng);
+    Network net("toy", std::move(body), 2);
+    Rng data_rng(5);
+    const Tensor images = random_tensor(Shape{12, 3}, data_rng);
+    const Tensor targets = one_hot(std::vector<int>(12, 1), 2);
+    CrossEntropyLoss ce;
+    TrainOptions opts;
+    opts.epochs = epochs;
+    opts.batch_size = 4;
+    opts.use_adam = true;
+    opts.lr = 0.05F;
+    opts.lr_decay = lr_decay;
+    opts.shuffle = false;
+    Trainer trainer(opts);
+    Rng fit_rng(6);
+    trainer.fit(
+        net, images,
+        [&](const Tensor& logits, std::span<const std::size_t> idx, Tensor& grad) {
+          return ce.compute(logits, Trainer::gather(targets, idx), grad);
+        },
+        fit_rng);
+    return net.save_weights();
+  };
+  EXPECT_EQ(train(2, 0.0F), train(1, 0.95F));
+  // And a real decay factor must change the two-epoch trajectory.
+  EXPECT_NE(train(2, 0.5F), train(2, 1.0F));
 }
 
 TEST(Trainer, GatherSelectsRows) {

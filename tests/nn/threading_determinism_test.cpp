@@ -1,0 +1,180 @@
+// Bit-for-bit determinism across thread counts.
+//
+// The thread pool's contract (core/thread_pool.hpp) is that parallelism may
+// change only wall-clock, never results: GEMM partitions rows without
+// changing per-row arithmetic, convolution reduces per-image gradient slices
+// in fixed image order, and the ensemble forks its RNG streams serially
+// before training members concurrently.  These tests pin that contract by
+// comparing exact floats between a 1-thread and a 4-thread run (the pool is
+// deliberately oversubscribed relative to small CI machines — determinism
+// must hold regardless of physical cores).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/metrics.hpp"
+#include "mitigation/ensemble.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/init.hpp"
+
+namespace tdfm {
+namespace {
+
+// Restores the global pool on scope exit so test order doesn't matter.
+struct PoolGuard {
+  std::size_t previous = core::ThreadPool::global_threads();
+  ~PoolGuard() { core::ThreadPool::set_global_threads(previous); }
+};
+
+TEST(ThreadingDeterminism, GemmKernelsAreThreadCountInvariant) {
+  PoolGuard guard;
+  const std::size_t m = 37;
+  const std::size_t n = 29;
+  const std::size_t k = 41;
+  Rng rng(3);
+  std::vector<float> a(m * k);
+  std::vector<float> b(k * n);
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+
+  const auto run_all = [&] {
+    std::vector<float> nn_out(m * n);
+    std::vector<float> nt_out(m * k);   // B as [k x n] -> A[m x n] * B^T
+    std::vector<float> tn_out(k * n);   // A as [m x k] -> A^T * B'[m x n]
+    gemm_nn(m, n, k, a.data(), b.data(), nn_out.data());
+    gemm_nt(m, k, n, nn_out.data(), b.data(), nt_out.data());
+    gemm_tn(k, n, m, a.data(), nn_out.data(), tn_out.data());
+    nn_out.insert(nn_out.end(), nt_out.begin(), nt_out.end());
+    nn_out.insert(nn_out.end(), tn_out.begin(), tn_out.end());
+    return nn_out;
+  };
+
+  core::ThreadPool::set_global_threads(1);
+  const auto serial = run_all();
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    core::ThreadPool::set_global_threads(threads);
+    EXPECT_EQ(run_all(), serial) << threads << " threads";
+  }
+}
+
+TEST(ThreadingDeterminism, ConvForwardBackwardIsThreadCountInvariant) {
+  PoolGuard guard;
+  const auto run = [] {
+    Rng rng(17);
+    nn::Conv2D conv(3, 6, 8, 8, 3, 1, 1, rng);
+    Tensor x(Shape{9, 3, 8, 8});  // odd batch: uneven chunks at 4 threads
+    uniform_init(x, -1.0F, 1.0F, rng);
+    const Tensor y = conv.forward(x, true);
+    const Tensor gx = conv.backward(y);
+    std::vector<float> all(y.flat().begin(), y.flat().end());
+    all.insert(all.end(), gx.flat().begin(), gx.flat().end());
+    for (auto* p : conv.parameters()) {
+      all.insert(all.end(), p->grad.flat().begin(), p->grad.flat().end());
+    }
+    return all;
+  };
+  core::ThreadPool::set_global_threads(1);
+  const auto serial = run();
+  core::ThreadPool::set_global_threads(4);
+  EXPECT_EQ(run(), serial);
+}
+
+TEST(ThreadingDeterminism, DepthwiseConvIsThreadCountInvariant) {
+  PoolGuard guard;
+  const auto run = [] {
+    Rng rng(19);
+    nn::DepthwiseConv2D conv(4, 8, 8, 3, 1, 1, rng);
+    Tensor x(Shape{7, 4, 8, 8});
+    uniform_init(x, -1.0F, 1.0F, rng);
+    const Tensor y = conv.forward(x, true);
+    const Tensor gx = conv.backward(y);
+    std::vector<float> all(y.flat().begin(), y.flat().end());
+    all.insert(all.end(), gx.flat().begin(), gx.flat().end());
+    for (auto* p : conv.parameters()) {
+      all.insert(all.end(), p->grad.flat().begin(), p->grad.flat().end());
+    }
+    return all;
+  };
+  core::ThreadPool::set_global_threads(1);
+  const auto serial = run();
+  core::ThreadPool::set_global_threads(4);
+  EXPECT_EQ(run(), serial);
+}
+
+// The flag-level guarantee: a ConvNet trained with --threads 1 and
+// --threads 4 ends with identical weights and identical test accuracy.
+TEST(ThreadingDeterminism, TrainedConvNetIsBitIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kGtsrbSim;
+  spec.scale = 0.05;
+  const auto pair = data::generate(spec);
+  models::ModelConfig cfg = models::ModelConfig::for_dataset(spec);
+  cfg.width = 4;
+  const Tensor targets = nn::one_hot(pair.train.labels, pair.train.num_classes);
+
+  const auto train = [&](std::size_t threads) {
+    nn::TrainOptions opts;
+    opts.epochs = 2;
+    opts.batch_size = 16;
+    opts.auto_tune = false;
+    opts.threads = threads;  // the --threads flag path through TrainOptions
+    Rng build_rng(7);
+    auto net = models::build_model(models::Arch::kConvNet, cfg, build_rng);
+    nn::CrossEntropyLoss ce;
+    nn::Trainer trainer(opts);
+    Rng fit_rng(9);
+    trainer.fit(*net, pair.train.images,
+                [&](const Tensor& logits, std::span<const std::size_t> idx,
+                    Tensor& grad) {
+                  return ce.compute(logits, nn::Trainer::gather(targets, idx), grad);
+                },
+                fit_rng);
+    const std::vector<int> preds = nn::predict_classes(*net, pair.test.images);
+    const double acc = metrics::accuracy(preds, pair.test.labels);
+    return std::make_pair(net->save_weights(), acc);
+  };
+
+  const auto [weights_1, acc_1] = train(1);
+  const auto [weights_4, acc_4] = train(4);
+  ASSERT_EQ(weights_1.size(), weights_4.size());
+  EXPECT_EQ(weights_1, weights_4);  // exact float equality, no tolerance
+  EXPECT_EQ(acc_1, acc_4);
+}
+
+// Ensemble members train concurrently; forked RNG streams and per-member
+// models must make the committee's votes independent of the thread count.
+TEST(ThreadingDeterminism, EnsemblePredictionsAreThreadCountInvariant) {
+  PoolGuard guard;
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kPneumoniaSim;
+  const auto pair = data::generate(spec);
+
+  const auto fit_predict = [&](std::size_t threads) {
+    core::ThreadPool::set_global_threads(threads);
+    mitigation::EnsembleTechnique ens(
+        {models::Arch::kConvNet, models::Arch::kConvNet, models::Arch::kConvNet});
+    mitigation::FitContext ctx;
+    ctx.train = &pair.train;
+    ctx.model_config = models::ModelConfig::for_dataset(spec, /*width=*/4);
+    ctx.train_opts.epochs = 1;
+    ctx.train_opts.batch_size = 16;
+    ctx.train_opts.auto_tune = false;
+    Rng rng(23);
+    ctx.rng = &rng;
+    const auto clf = ens.fit(ctx);
+    return clf->predict(pair.test.images);
+  };
+
+  const auto serial = fit_predict(1);
+  EXPECT_EQ(fit_predict(4), serial);
+}
+
+}  // namespace
+}  // namespace tdfm
