@@ -36,7 +36,8 @@ int main(int argc, char** argv) try {
         Arch::kConvNet}},
   };
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
+  BenchJson json("ablation_ensemble_size", s);
   AsciiTable table({"variant", "AD", "accuracy", "train time"});
   for (const Variant& v : variants) {
     experiment::StudyConfig cfg =
@@ -51,12 +52,16 @@ int main(int argc, char** argv) try {
                    percent_with_ci(cell.ad.mean, cell.ad.ci95_half_width),
                    percent(cell.faulty_accuracy.mean, 0),
                    fixed(cell.train_seconds.mean, 1) + "s"});
+    json.add(std::string(v.label) + ".ad", cell.ad.mean);
+    json.add(std::string(v.label) + ".train_seconds", cell.train_seconds.mean);
   }
   std::cout << table.render()
             << "\nexpected shape: AD falls as members are added, and the "
                "diverse 5-member set beats five copies of one architecture "
                "(architectural diversity is the mechanism, §IV-B).\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -33,7 +33,8 @@ int main(int argc, char** argv) try {
       {"classical  a=0.3", false, 0.3F},
   };
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
+  BenchJson json("ablation_ls_variant", s);
   AsciiTable table({"variant", "AD", "naive drop", "accuracy"});
   // Baseline row first, from a Base-only study.
   experiment::StudyConfig base_cfg =
@@ -43,13 +44,15 @@ int main(int argc, char** argv) try {
   base_cfg.fault_levels = {{faults::FaultSpec{faults::FaultType::kMislabelling,
                                               cli.get_double("percent")}}};
 
-  const auto add_row = [&table](const char* label,
-                                const experiment::CellResult& cell) {
+  const auto add_row = [&table, &json](const char* label,
+                                       const experiment::CellResult& cell) {
     double drop = 0.0;
     for (const auto& t : cell.trials) drop += t.naive_drop;
     drop /= static_cast<double>(cell.trials.size());
     table.add_row({label, percent_with_ci(cell.ad.mean, cell.ad.ci95_half_width),
                    percent(drop), percent(cell.faulty_accuracy.mean, 0)});
+    json.add(std::string(label) + ".ad", cell.ad.mean);
+    json.add(std::string(label) + ".naive_drop", drop);
   };
 
   {
@@ -70,6 +73,8 @@ int main(int argc, char** argv) try {
                "model trades mistakes instead of losing accuracy outright — "
                "AD (§III-C) counts only golden-correct images lost.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -38,10 +38,12 @@ int main(int argc, char** argv) try {
       {FaultSpec{FaultType::kRemoval, pct}, FaultSpec{FaultType::kRepetition, pct}},      // 5
   };
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   const auto result = experiment::run_study(cfg);
   std::cout << experiment::render_ad_table(result,
                                            "AD of single vs combined fault types");
+  BenchJson json("combined_faults", s);
+  add_study_headlines(json, result);
 
   // Welch t-tests: combination vs its dominant single fault type.
   struct Pair {
@@ -65,8 +67,11 @@ int main(int argc, char** argv) try {
               << (w.significant_at_05 ? "  -> DIFFERENT at 5%"
                                       : "  -> statistically similar")
               << '\n';
+    json.add(std::string("welch.") + p.label, w.t);
   }
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -8,18 +8,24 @@
 //   --scale F    dataset-size multiplier (1.0 = Table II at 1/45 scale)
 //   --seed S     master seed
 //   --log L      log verbosity
+// plus the observability flags (core/cli.hpp): --metrics, --trace,
+// --log-timestamps, and --json for a machine-readable result file.
 #pragma once
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cli.hpp"
 #include "core/logging.hpp"
-#include "core/stopwatch.hpp"
 #include "core/thread_pool.hpp"
 #include "core/table.hpp"
 #include "experiment/experiment.hpp"
 #include "experiment/report.hpp"
+#include "obs/obs.hpp"
 
 namespace tdfm::bench {
 
@@ -30,6 +36,7 @@ struct BenchSettings {
   std::size_t width = 8;
   std::uint64_t seed = 42;
   std::size_t threads = 1;  ///< resolved worker-thread count (never 0)
+  std::string json_path;    ///< --json output file ("" = no file)
 };
 
 /// Parses the common flags; returns false when --help was requested.
@@ -40,6 +47,7 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
                               int default_width = 8) {
   cli.add_flag("width", std::to_string(default_width),
                "model base channel width (paper-scale analogue: 8)");
+  cli.add_flag("json", "", "write machine-readable bench results to this file");
   add_common_bench_flags(cli, default_trials, default_epochs, default_scale);
   if (!cli.parse(argc, argv)) return false;
   settings.width = static_cast<std::size_t>(cli.get_int("width"));
@@ -47,7 +55,9 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
   settings.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   settings.scale = cli.get_double("scale");
   settings.seed = cli.get_u64("seed");
+  settings.json_path = cli.get_string("json");
   set_log_level(parse_log_level(cli.get_string("log")));
+  apply_obs_flags(cli);
   const int threads = cli.get_int("threads");
   TDFM_CHECK(threads >= 0, "--threads must be >= 0");
   core::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
@@ -104,6 +114,67 @@ inline void print_banner(const std::string& what, const BenchSettings& s) {
             << " scale=" << s.scale << " seed=" << s.seed
             << " threads=" << s.threads
             << "  (paper: 20 trials, full datasets)\n\n";
+}
+
+/// Machine-readable bench output (--json flag): one JSON object carrying the
+/// bench name, the settings it ran with, and an ordered map of headline
+/// metrics.  Insertion order is preserved so files diff cleanly across runs.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, const BenchSettings& settings)
+      : bench_(std::move(bench)), settings_(settings) {}
+
+  void add(const std::string& key, double value) {
+    entries_.emplace_back(key, obs::json_number(value));
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, obs::json_string(value));
+  }
+
+  /// Writes the file; no-op when `path` is empty (flag not given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    TDFM_CHECK(out.good(), "cannot open --json output file: " + path);
+    out << "{\n  \"bench\": " << obs::json_string(bench_)
+        << ",\n  \"config\": {\"trials\": " << settings_.trials
+        << ", \"epochs\": " << settings_.epochs
+        << ", \"scale\": " << obs::json_number(settings_.scale)
+        << ", \"width\": " << settings_.width
+        << ", \"seed\": " << settings_.seed
+        << ", \"threads\": " << settings_.threads << "},\n  \"metrics\": {";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << (i == 0 ? "\n    " : ",\n    ")
+          << obs::json_string(entries_[i].first) << ": " << entries_[i].second;
+    }
+    out << (entries_.empty() ? "}" : "\n  }") << "\n}\n";
+    TDFM_CHECK(out.good(), "failed writing --json output file: " + path);
+  }
+
+ private:
+  std::string bench_;
+  BenchSettings settings_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Adds a study's standard headline metrics: golden accuracy plus the mean
+/// accuracy delta of every (fault level, technique) cell.  `prefix`
+/// disambiguates keys when one bench runs several studies per model
+/// (e.g. a dataset sweep).
+inline void add_study_headlines(BenchJson& json,
+                                const experiment::StudyResult& result,
+                                const std::string& prefix = "") {
+  const std::string model = prefix + models::arch_name(result.config.model);
+  json.add(model + ".golden_accuracy", result.golden_accuracy.mean);
+  for (std::size_t fl = 0; fl < result.config.fault_levels.size(); ++fl) {
+    const std::string level = result.config.fault_level_name(fl);
+    for (std::size_t ti = 0; ti < result.config.techniques.size(); ++ti) {
+      const std::string technique =
+          mitigation::technique_name(result.config.techniques[ti]);
+      json.add(model + "." + level + "." + technique + ".ad",
+               result.cells[fl][ti].ad.mean);
+    }
+  }
 }
 
 }  // namespace tdfm::bench

@@ -30,7 +30,7 @@ int main(int argc, char** argv) try {
       base_study(s, data::DatasetKind::kGtsrbSim, archs.front());
   proto.fault_levels = experiment::standard_sweep(faults::FaultType::kMislabelling);
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   const auto results = experiment::run_multi_model_study(proto, archs);
   for (std::size_t a = 0; a < archs.size(); ++a) {
     std::cout << experiment::render_ad_table(
@@ -42,6 +42,10 @@ int main(int argc, char** argv) try {
   std::cout << "paper reference shapes: Ens & LS lowest AD; KD helps at 10% "
                "but exceeds the baseline at 30-50%; RL/LC hurt ConvNet.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  BenchJson json("fig3_mislabelling", s);
+  for (const auto& result : results) add_study_headlines(json, result);
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

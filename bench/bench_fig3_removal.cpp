@@ -35,7 +35,7 @@ int main(int argc, char** argv) try {
       mitigation::TechniqueKind::kEnsemble,
   };
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   const auto results = experiment::run_multi_model_study(proto, archs);
   for (std::size_t a = 0; a < archs.size(); ++a) {
     std::cout << experiment::render_ad_table(
@@ -46,6 +46,10 @@ int main(int argc, char** argv) try {
   std::cout << "paper reference shapes: all ADs well below the mislabelling "
                "ADs; most techniques still at or below the baseline.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  BenchJson json("fig3_removal", s);
+  for (const auto& result : results) add_study_headlines(json, result);
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -23,7 +23,8 @@ int main(int argc, char** argv) try {
   print_banner("E5: Fig. 4(a,c,e) — AD across datasets, mislabelling", s);
 
   const auto model = models::arch_from_name(cli.get_string("model"));
-  Stopwatch watch;
+  obs::Stopwatch watch;
+  BenchJson json("fig4_mislabelling", s);
   for (const auto kind :
        {data::DatasetKind::kCifar10Sim, data::DatasetKind::kGtsrbSim,
         data::DatasetKind::kPneumoniaSim}) {
@@ -34,11 +35,14 @@ int main(int argc, char** argv) try {
                      result, std::string("Fig. 4 panel — ") + data::dataset_name(kind) +
                                  " / " + models::arch_name(model) + " / mislabelling")
               << experiment::render_winners(result) << "\n";
+    add_study_headlines(json, result, std::string(data::dataset_name(kind)) + ".");
   }
   std::cout << "paper reference shapes: GTSRB lowest ADs; Ens resilient "
                "everywhere, LS second; LC best at 50% on CIFAR/Pneumonia but "
                "near-worst on GTSRB; RL collapses at 50%.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

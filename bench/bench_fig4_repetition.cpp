@@ -22,7 +22,8 @@ int main(int argc, char** argv) try {
   print_banner("E6: Fig. 4(b,d,f) — AD across datasets, repetition", s);
 
   const auto model = models::arch_from_name(cli.get_string("model"));
-  Stopwatch watch;
+  obs::Stopwatch watch;
+  BenchJson json("fig4_repetition", s);
   for (const auto kind :
        {data::DatasetKind::kCifar10Sim, data::DatasetKind::kGtsrbSim,
         data::DatasetKind::kPneumoniaSim}) {
@@ -41,10 +42,13 @@ int main(int argc, char** argv) try {
                      result, std::string("Fig. 4 panel — ") + data::dataset_name(kind) +
                                  " / " + models::arch_name(model) + " / repetition")
               << experiment::render_winners(result) << "\n";
+    add_study_headlines(json, result, std::string(data::dataset_name(kind)) + ".");
   }
   std::cout << "paper reference shapes: repetition ADs far below mislabelling "
                "ADs; RL highest, KD second highest.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

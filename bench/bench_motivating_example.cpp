@@ -23,7 +23,7 @@ int main(int argc, char** argv) try {
   cfg.fault_levels = {
       {faults::FaultSpec{faults::FaultType::kMislabelling, 10.0}}};
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   const experiment::StudyResult result = experiment::run_study(cfg);
 
   std::cout << experiment::render_ad_table(
@@ -35,6 +35,10 @@ int main(int argc, char** argv) try {
   std::cout << "\npaper reference: golden 90%, faulty base 55% accuracy; AD "
                "LS 5%, LC 29%, RL 15%, KD 13%, Ens 5%\n";
   std::cout << "elapsed: " << tdfm::fixed(watch.elapsed_seconds(), 1) << "s\n";
+  BenchJson json("motivating_example", s);
+  add_study_headlines(json, result);
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -16,44 +16,64 @@
 
 namespace {
 
-// Times one training epoch of the technique-agnostic trainer at each thread
-// count and prints throughput plus speedup over the 1-thread row.  The
-// trained weights are bit-identical across rows (asserted in nn_tests); this
-// table shows what the `--threads` flag buys in wall-clock.
-void print_thread_sweep(const tdfm::bench::BenchSettings& s, tdfm::models::Arch model) {
-  using namespace tdfm;
-  data::SyntheticSpec spec;
-  spec.kind = data::DatasetKind::kGtsrbSim;
-  spec.scale = std::min(s.scale, 0.4);
-  const auto pair = data::generate(spec);
-  models::ModelConfig mc = models::ModelConfig::for_dataset(spec);
-  mc.width = s.width;
-  const Tensor targets = nn::one_hot(pair.train.labels, pair.train.num_classes);
-  nn::CrossEntropyLoss ce;
-  nn::TrainOptions opts;
-  opts.epochs = 2;
-  opts.auto_tune = false;
+// Builds the small GTSRB-sim training closure shared by the thread sweep and
+// the instrumentation-overhead section; returns wall seconds for one 2-epoch
+// fit from a fixed seed.
+struct MicroTrain {
+  MicroTrain(const tdfm::bench::BenchSettings& s, tdfm::models::Arch model)
+      : settings(s), arch(model) {
+    spec.kind = tdfm::data::DatasetKind::kGtsrbSim;
+    spec.scale = std::min(s.scale, 0.4);
+    pair = tdfm::data::generate(spec);
+    mc = tdfm::models::ModelConfig::for_dataset(spec);
+    mc.width = s.width;
+    targets = tdfm::nn::one_hot(pair.train.labels, pair.train.num_classes);
+    opts.epochs = 2;
+    opts.auto_tune = false;
+  }
 
-  AsciiTable table({"threads", "train s", "samples/s", "speedup"});
-  double base_seconds = 0.0;
-  const std::size_t hw = core::ThreadPool::default_threads();
-  for (std::size_t t = 1; t <= std::max<std::size_t>(hw, 4); t *= 2) {
-    core::ThreadPool::set_global_threads(t);
-    Rng build_rng(s.seed);
-    auto net = models::build_model(model, mc, build_rng);
+  double run_once() {
+    using namespace tdfm;
+    Rng build_rng(settings.seed);
+    auto net = models::build_model(arch, mc, build_rng);
     nn::Trainer trainer(opts);
-    Rng fit_rng(s.seed + 1);
-    Stopwatch watch;
+    Rng fit_rng(settings.seed + 1);
+    obs::Stopwatch watch;
     trainer.fit(*net, pair.train.images,
                 [&](const Tensor& logits, std::span<const std::size_t> idx,
                     Tensor& grad) {
                   return ce.compute(logits, nn::Trainer::gather(targets, idx), grad);
                 },
                 fit_rng);
-    const double seconds = watch.elapsed_seconds();
+    return watch.elapsed_seconds();
+  }
+
+  tdfm::bench::BenchSettings settings;
+  tdfm::models::Arch arch;
+  tdfm::data::SyntheticSpec spec;
+  tdfm::data::TrainTestPair pair;
+  tdfm::models::ModelConfig mc;
+  tdfm::Tensor targets;
+  tdfm::nn::CrossEntropyLoss ce;
+  tdfm::nn::TrainOptions opts;
+};
+
+// Times one training epoch of the technique-agnostic trainer at each thread
+// count and prints throughput plus speedup over the 1-thread row.  The
+// trained weights are bit-identical across rows (asserted in nn_tests); this
+// table shows what the `--threads` flag buys in wall-clock.
+void print_thread_sweep(const tdfm::bench::BenchSettings& s, tdfm::models::Arch model) {
+  using namespace tdfm;
+  MicroTrain micro(s, model);
+  AsciiTable table({"threads", "train s", "samples/s", "speedup"});
+  double base_seconds = 0.0;
+  const std::size_t hw = core::ThreadPool::default_threads();
+  for (std::size_t t = 1; t <= std::max<std::size_t>(hw, 4); t *= 2) {
+    core::ThreadPool::set_global_threads(t);
+    const double seconds = micro.run_once();
     if (t == 1) base_seconds = seconds;
     const double samples =
-        static_cast<double>(pair.train.size() * opts.epochs) / seconds;
+        static_cast<double>(micro.pair.train.size() * micro.opts.epochs) / seconds;
     table.add_row({std::to_string(t), fixed(seconds, 3), fixed(samples, 0),
                    fixed(base_seconds / seconds, 2) + "x"});
   }
@@ -61,6 +81,67 @@ void print_thread_sweep(const tdfm::bench::BenchSettings& s, tdfm::models::Arch 
   std::cout << "\nper-thread-count training throughput ("
             << models::arch_name(model) << ", GTSRB-sim):\n"
             << table.render();
+}
+
+// Measures the cost of the obs instrumentation itself (ISSUE: disabled path
+// must stay <2% of training time).  Three layers:
+//   1. micro: ns per disabled Counter::add (one relaxed load + branch);
+//   2. macro: the same small training run with obs off / metrics on /
+//      metrics+trace on;
+//   3. estimate: instrumentation checks per run (GEMM calls dominate) times
+//      the micro cost, as a fraction of the uninstrumented run.
+void print_obs_overhead(const tdfm::bench::BenchSettings& s,
+                        tdfm::models::Arch model, tdfm::bench::BenchJson& json) {
+  using namespace tdfm;
+  const bool metrics_was_on = obs::metrics_enabled();
+  const bool trace_was_on = obs::trace_enabled();
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+
+  obs::Counter probe = obs::Registry::global().counter("bench.obs_probe");
+  constexpr std::size_t kIters = 50'000'000;
+  obs::Stopwatch micro_watch;
+  for (std::size_t i = 0; i < kIters; ++i) probe.add(1);
+  const double ns_per_check =
+      micro_watch.elapsed_seconds() * 1e9 / static_cast<double>(kIters);
+
+  MicroTrain micro(s, model);
+  const double off_s = micro.run_once();
+  // reset_values gives a clean per-run count of instrumentation hits; any
+  // user-requested --metrics scrape at exit reflects post-reset values.
+  obs::Registry::global().reset_values();
+  obs::set_metrics_enabled(true);
+  const double metrics_s = micro.run_once();
+  const double checks = static_cast<double>(
+      obs::Registry::global().counter("gemm.calls").value() +
+      obs::Registry::global().counter("conv.images").value());
+  obs::set_trace_enabled(true);
+  const double trace_s = micro.run_once();
+
+  obs::set_metrics_enabled(metrics_was_on);
+  obs::set_trace_enabled(trace_was_on);
+  if (!trace_was_on) obs::clear_trace_events();
+
+  const double est_disabled_pct =
+      off_s > 0.0 ? checks * ns_per_check * 1e-9 / off_s * 100.0 : 0.0;
+  AsciiTable table({"configuration", "train s", "vs off"});
+  table.add_row({"obs off", fixed(off_s, 3), "1.00x"});
+  table.add_row({"metrics on", fixed(metrics_s, 3),
+                 fixed(off_s > 0 ? metrics_s / off_s : 0.0, 2) + "x"});
+  table.add_row({"metrics + trace on", fixed(trace_s, 3),
+                 fixed(off_s > 0 ? trace_s / off_s : 0.0, 2) + "x"});
+  std::cout << "\nobs instrumentation overhead (" << models::arch_name(model)
+            << ", GTSRB-sim, 2 epochs):\n"
+            << table.render() << "disabled check: " << fixed(ns_per_check, 2)
+            << " ns/op; ~" << fixed(checks, 0)
+            << " checks per run -> estimated disabled-path overhead "
+            << fixed(est_disabled_pct, 3) << "% (target <2%)\n";
+
+  json.add("obs.disabled_check_ns", ns_per_check);
+  json.add("obs.train_off_seconds", off_s);
+  json.add("obs.train_metrics_seconds", metrics_s);
+  json.add("obs.train_trace_seconds", trace_s);
+  json.add("obs.est_disabled_overhead_pct", est_disabled_pct);
 }
 
 }  // namespace
@@ -74,6 +155,8 @@ int main(int argc, char** argv) try {
   cli.add_flag("verbose", "false", "also print the AD-definition ablation");
   cli.add_flag("thread-sweep", "false",
                "also time training at 1..N threads and print the speedup table");
+  cli.add_flag("obs-overhead", "true",
+               "measure the obs instrumentation's own cost (disabled and enabled)");
   BenchSettings s;
   if (!parse_bench_flags(argc, argv, cli, s, /*trials=*/1, /*epochs=*/8,
                          /*scale=*/0.4, /*width=*/8)) {
@@ -86,7 +169,7 @@ int main(int argc, char** argv) try {
   cfg.fault_levels = {
       {faults::FaultSpec{faults::FaultType::kMislabelling, 30.0}}};
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   const auto result = experiment::run_study(cfg);
   std::cout << experiment::render_overhead_table(
       result, std::string("overheads — GTSRB-sim / ") + models::arch_name(model) +
@@ -112,9 +195,21 @@ int main(int argc, char** argv) try {
   }
   if (cli.get_bool("thread-sweep")) print_thread_sweep(s, model);
 
+  BenchJson json("overhead", s);
+  add_study_headlines(json, result);
+  for (std::size_t ti = 0; ti < result.config.techniques.size(); ++ti) {
+    const std::string tname =
+        mitigation::technique_name(result.config.techniques[ti]);
+    json.add(tname + ".train_seconds", result.cells[0][ti].train_seconds.mean);
+    json.add(tname + ".infer_seconds", result.cells[0][ti].infer_seconds.mean);
+  }
+  if (cli.get_bool("obs-overhead")) print_obs_overhead(s, model, json);
+
   std::cout << "\npaper reference: inference 1x everywhere except Ens (5x); "
                "training LS ~1x, KD ~1.5x, LC high, Ens highest.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -26,7 +26,8 @@ int main(int argc, char** argv) try {
   print_banner("E2: Table IV — accuracies without fault injection", s);
 
   const std::vector<models::Arch> archs = parse_arch_list(cli.get_string("models"));
-  Stopwatch watch;
+  obs::Stopwatch watch;
+  BenchJson json("table4_baseline_accuracy", s);
 
   AsciiTable table({"model", "dataset", "Base", "LS", "LC", "RL", "KD", "Ens"});
   const std::array<data::DatasetKind, 3> datasets{data::DatasetKind::kCifar10Sim,
@@ -38,6 +39,7 @@ int main(int argc, char** argv) try {
     const auto results = experiment::run_multi_model_study(proto, archs);
     for (std::size_t a = 0; a < archs.size(); ++a) {
       const auto& r = results[a];
+      add_study_headlines(json, r, std::string(data::dataset_name(kind)) + ".");
       std::vector<std::string> row{models::arch_name(archs[a]),
                                    data::dataset_name(kind)};
       for (const auto tech : r.config.techniques) {
@@ -59,6 +61,8 @@ int main(int argc, char** argv) try {
   std::cout << "\npaper reference: Table IV — techniques mostly preserve "
                "accuracy; LC/RL degrade on Pneumonia; KD highest on GTSRB.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  json.add("elapsed_seconds", watch.elapsed_seconds());
+  json.write(s.json_path);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

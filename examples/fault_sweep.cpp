@@ -30,8 +30,10 @@ int main(int argc, char** argv) try {
   cli.add_flag("csv", "false", "also dump CSV rows");
   cli.add_flag("threads", "0",
                "worker threads (0 = hardware concurrency, 1 = serial)");
+  add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
   set_log_level(LogLevel::kWarn);
+  apply_obs_flags(cli);
   core::ThreadPool::set_global_threads(
       static_cast<std::size_t>(cli.get_int("threads")));
 

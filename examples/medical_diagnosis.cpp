@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "core/cli.hpp"
-#include "core/stopwatch.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
 #include "data/synthetic.hpp"
@@ -17,6 +16,7 @@
 #include "metrics/metrics.hpp"
 #include "mitigation/baseline.hpp"
 #include "mitigation/registry.hpp"
+#include "obs/stopwatch.hpp"
 
 int main(int argc, char** argv) try {
   using namespace tdfm;
@@ -27,7 +27,9 @@ int main(int argc, char** argv) try {
   cli.add_flag("seed", "21", "random seed");
   cli.add_flag("threads", "0",
                "worker threads (0 = hardware concurrency, 1 = serial)");
+  add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
+  apply_obs_flags(cli);
   core::ThreadPool::set_global_threads(
       static_cast<std::size_t>(cli.get_int("threads")));
 
@@ -74,7 +76,7 @@ int main(int argc, char** argv) try {
     ctx.train = &faulty;
     Rng fit_rng = rng.fork(100 + static_cast<std::uint64_t>(kind));
     ctx.rng = &fit_rng;
-    Stopwatch watch;
+    obs::Stopwatch watch;
     const auto model = technique->fit(ctx);
     const double train_s = watch.elapsed_seconds();
     const auto preds = model->predict(dataset.test.images);

@@ -5,6 +5,9 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/logging.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdfm {
 
@@ -117,6 +120,29 @@ void add_common_bench_flags(CliParser& cli, int default_trials, int default_epoc
                "worker threads for training hot paths (0 = hardware "
                "concurrency, 1 = serial); results are bit-identical for "
                "every value");
+  add_obs_flags(cli);
+}
+
+void add_obs_flags(CliParser& cli) {
+  cli.add_flag("metrics", "",
+               "JSONL telemetry output: per-epoch/per-cell records plus a "
+               "final metrics-registry scrape (empty = off)");
+  cli.add_flag("trace", "",
+               "Chrome trace_event JSON output, viewable in Perfetto "
+               "(empty = off)");
+  cli.add_flag("log-timestamps", "false",
+               "prefix log lines with ISO-8601 UTC time and thread id");
+}
+
+void apply_obs_flags(const CliParser& cli) {
+  set_log_timestamps(cli.get_bool("log-timestamps"));
+  const std::string metrics = cli.get_string("metrics");
+  if (!metrics.empty()) obs::set_metrics_output(metrics);
+  const std::string trace = cli.get_string("trace");
+  if (!trace.empty()) {
+    obs::set_trace_output(trace);
+    obs::set_trace_enabled(true);
+  }
 }
 
 }  // namespace tdfm

@@ -50,4 +50,15 @@ class CliParser {
 void add_common_bench_flags(CliParser& cli, int default_trials, int default_epochs,
                             double default_scale = 1.0);
 
+/// Registers the observability flags every bench/example accepts:
+///   --metrics <file>   stream training telemetry + metric scrape as JSONL
+///   --trace <file>     record Chrome trace_event JSON (open in Perfetto)
+///   --log-timestamps   prefix log lines with ISO-8601 time + thread id
+/// add_common_bench_flags registers these automatically; examples with
+/// bespoke flag sets call this directly.
+void add_obs_flags(CliParser& cli);
+
+/// Applies the parsed observability flags (call after CliParser::parse).
+void apply_obs_flags(const CliParser& cli);
+
 }  // namespace tdfm

@@ -1,6 +1,10 @@
 #include "core/logging.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 #include "core/error.hpp"
@@ -9,6 +13,31 @@ namespace tdfm {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_timestamps{false};
+
+/// Dense per-thread label assigned on first log from that thread.
+std::uint32_t thread_label() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+/// "2026-08-06T12:34:56.789Z T002 " — UTC wall clock plus thread id.
+std::string timestamp_prefix() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ T%03u",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms), thread_label());
+  return buf;
+}
 
 constexpr std::string_view level_tag(LogLevel level) {
   switch (level) {
@@ -25,6 +54,9 @@ constexpr std::string_view level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_timestamps(bool on) { g_timestamps.store(on); }
+bool log_timestamps() { return g_timestamps.load(); }
+
 LogLevel parse_log_level(std::string_view name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
@@ -40,7 +72,12 @@ void log_line(LogLevel level, std::string_view msg) {
   // Compose the full line first so concurrent log statements (parallel
   // ensemble members) cannot interleave mid-line.
   std::string line;
-  line.reserve(msg.size() + 10);
+  line.reserve(msg.size() + 42);
+  if (g_timestamps.load()) {
+    line += '[';
+    line += timestamp_prefix();
+    line += "] ";
+  }
   line += '[';
   line += level_tag(level);
   line += "] ";

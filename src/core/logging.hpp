@@ -20,6 +20,13 @@ void set_log_level(LogLevel level);
 /// Parses "debug"/"info"/"warn"/"error"/"off"; throws ConfigError otherwise.
 [[nodiscard]] LogLevel parse_log_level(std::string_view name);
 
+/// When enabled, every log line carries an ISO-8601 UTC timestamp and a
+/// small per-thread id, e.g. "[2026-08-06T12:34:56.789Z T002] [INFO ] ...".
+/// Lines stay atomic (composed fully before the single stream write).
+/// Exposed on benches/examples as --log-timestamps.
+void set_log_timestamps(bool on);
+[[nodiscard]] bool log_timestamps();
+
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace tdfm::core {
 
@@ -89,7 +90,14 @@ void ThreadPool::execute_chunks(Job& job) {
     const std::size_t lo = job.begin + c * job.grain;
     const std::size_t hi = std::min(job.end, lo + job.grain);
     try {
-      (*job.body)(lo, hi);
+      if (job.trace_parent.empty()) {
+        (*job.body)(lo, hi);
+      } else {
+        // Attribute the chunk to the span that issued the parallel region;
+        // the event lands on the executing thread's trace lane.
+        obs::Span span(job.trace_parent + "/chunk");
+        (*job.body)(lo, hi);
+      }
     } catch (...) {
       const std::lock_guard<std::mutex> elk(job.error_mu);
       if (!job.error) job.error = std::current_exception();
@@ -119,6 +127,10 @@ void ThreadPool::for_range(std::size_t begin, std::size_t end, std::size_t grain
 
   auto job = std::make_shared<Job>();
   job->body = &fn;
+  if (obs::trace_enabled()) {
+    job->trace_parent = obs::current_span_name();
+    if (job->trace_parent.empty()) job->trace_parent = "for_range";
+  }
   job->begin = begin;
   job->end = end;
   job->grain = grain;

@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -78,6 +79,9 @@ class ThreadPool {
  private:
   struct Job {
     const RangeFn* body = nullptr;
+    /// Span name of the caller when tracing is on; chunks record
+    /// "<parent>/chunk" spans on whichever thread runs them (obs/trace.hpp).
+    std::string trace_parent;
     std::size_t begin = 0;
     std::size_t grain = 1;
     std::size_t end = 0;

@@ -3,9 +3,10 @@
 #include <algorithm>
 
 #include "core/logging.hpp"
-#include "core/stopwatch.hpp"
 #include "metrics/metrics.hpp"
 #include "mitigation/baseline.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace tdfm::experiment {
 
@@ -62,6 +63,24 @@ TrialOutcome measure_outcome(std::span<const int> golden_preds,
   o.reverse_ad = metrics::reverse_accuracy_delta(golden_preds, preds, truth);
   o.naive_drop = metrics::naive_accuracy_drop(golden_preds, preds, truth);
   return o;
+}
+
+/// One JSONL record per study cell when telemetry is on (--metrics flag):
+/// the per-technique overhead numbers of §IV-E in machine-readable form.
+void emit_cell_record(const std::string& model, const std::string& fault_level,
+                      const std::string& technique, std::size_t trial,
+                      double train_s, double infer_s, double accuracy, double ad) {
+  if (!obs::telemetry_enabled()) return;
+  obs::CellRecord rec;
+  rec.model = model;
+  rec.fault_level = fault_level;
+  rec.technique = technique;
+  rec.trial = trial + 1;
+  rec.train_seconds = train_s;
+  rec.infer_seconds = infer_s;
+  rec.accuracy = accuracy;
+  rec.ad = ad;
+  obs::emit_cell(rec);
 }
 
 void aggregate_cells(StudyResult& result) {
@@ -126,15 +145,18 @@ std::vector<StudyResult> run_multi_model_study(const StudyConfig& proto,
       ctx.train_opts = proto.train_opts;
       Rng golden_rng = trial_rng.fork(11 + a);
       ctx.rng = &golden_rng;
-      Stopwatch train_watch;
+      obs::Span train_span("golden:fit");
       const auto golden = golden_technique.fit(ctx);
-      golden_train[a].push_back(train_watch.elapsed_seconds());
-      Stopwatch infer_watch;
+      golden_train[a].push_back(train_span.stop());
+      obs::Span infer_span("golden:predict");
       golden_preds[a] = golden->predict(dataset.test.images);
-      golden_infer[a].push_back(infer_watch.elapsed_seconds());
+      golden_infer[a].push_back(infer_span.stop());
       golden_accuracy[a] =
           metrics::accuracy(golden_preds[a], dataset.test.labels);
       golden_acc[a].push_back(golden_accuracy[a]);
+      emit_cell_record(models::arch_name(archs[a]), "none", "golden", trial,
+                       golden_train[a].back(), golden_infer[a].back(),
+                       golden_accuracy[a], /*ad=*/0.0);
       TDFM_LOG(kInfo) << dataset.train.name << " " << models::arch_name(archs[a])
                       << " trial " << trial + 1 << ": golden acc "
                       << golden_accuracy[a];
@@ -161,16 +183,21 @@ std::vector<StudyResult> run_multi_model_study(const StudyConfig& proto,
           ctx.train_opts = proto.train_opts;
           Rng fit_rng = trial_rng.fork(4000 + fl * 101 + ti);
           ctx.rng = &fit_rng;
-          Stopwatch fit_watch;
+          const std::string tname = mitigation::technique_name(kind);
+          obs::Span fit_span("fit:" + tname);
           const auto classifier = technique->fit(ctx);
-          const double train_s = fit_watch.elapsed_seconds();
-          Stopwatch predict_watch;
+          const double train_s = fit_span.stop();
+          obs::Span predict_span("predict:" + tname);
           const std::vector<int> preds = classifier->predict(dataset.test.images);
-          const double infer_s = predict_watch.elapsed_seconds();
+          const double infer_s = predict_span.stop();
           for (std::size_t a = 0; a < archs.size(); ++a) {
-            results[a].cells[fl][ti].trials.push_back(measure_outcome(
+            const TrialOutcome outcome = measure_outcome(
                 golden_preds[a], preds, dataset.test.labels, golden_accuracy[a],
-                train_s, infer_s, classifier->inference_model_count()));
+                train_s, infer_s, classifier->inference_model_count());
+            emit_cell_record(models::arch_name(archs[a]),
+                             proto.fault_level_name(fl), tname, trial, train_s,
+                             infer_s, outcome.faulty_accuracy, outcome.ad);
+            results[a].cells[fl][ti].trials.push_back(outcome);
           }
           continue;
         }
@@ -201,19 +228,23 @@ std::vector<StudyResult> run_multi_model_study(const StudyConfig& proto,
 
           Rng fit_rng = trial_rng.fork(4000 + fl * 101 + ti * 7 + a);
           ctx.rng = &fit_rng;
-          Stopwatch fit_watch;
+          const std::string tname = mitigation::technique_name(kind);
+          obs::Span fit_span("fit:" + tname);
           const auto classifier = technique->fit(ctx);
-          const double train_s = fit_watch.elapsed_seconds();
-          Stopwatch predict_watch;
+          const double train_s = fit_span.stop();
+          obs::Span predict_span("predict:" + tname);
           const std::vector<int> preds = classifier->predict(dataset.test.images);
-          const double infer_s = predict_watch.elapsed_seconds();
+          const double infer_s = predict_span.stop();
           const TrialOutcome outcome = measure_outcome(
               golden_preds[a], preds, dataset.test.labels, golden_accuracy[a],
               train_s, infer_s, classifier->inference_model_count());
+          emit_cell_record(models::arch_name(archs[a]),
+                           proto.fault_level_name(fl), tname, trial, train_s,
+                           infer_s, outcome.faulty_accuracy, outcome.ad);
           TDFM_LOG(kInfo) << "  " << models::arch_name(archs[a]) << " "
-                          << proto.fault_level_name(fl) << " "
-                          << mitigation::technique_name(kind) << ": acc "
-                          << outcome.faulty_accuracy << ", AD " << outcome.ad;
+                          << proto.fault_level_name(fl) << " " << tname
+                          << ": acc " << outcome.faulty_accuracy << ", AD "
+                          << outcome.ad;
           results[a].cells[fl][ti].trials.push_back(outcome);
         }
       }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
 
@@ -29,6 +30,16 @@ namespace {
 std::size_t batch_grain(std::size_t batch) {
   const std::size_t threads = core::ThreadPool::global_threads();
   return std::max<std::size_t>(1, batch / (threads * 4));
+}
+
+// Convolution-level FLOP accounting (the im2col GEMMs also count under
+// gemm.flops; conv.flops isolates the convolution layers' share).
+void count_conv(std::size_t images, std::size_t flops_per_image) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter conv_images = obs::Registry::global().counter("conv.images");
+  static obs::Counter conv_flops = obs::Registry::global().counter("conv.flops");
+  conv_images.add(images);
+  conv_flops.add(images * flops_per_image);
 }
 }  // namespace
 
@@ -57,6 +68,7 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   Tensor out(Shape{batch, out_c_, oh, ow});
   const std::size_t in_stride = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::size_t out_stride = out_c_ * oh * ow;
+  count_conv(batch, 2 * out_c_ * pr * pc);
   core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
     std::vector<float> columns(pr * pc);  // chunk-local patch matrix
     for (std::size_t b = b0; b < b1; ++b) {
@@ -154,6 +166,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t pc = geom_.patch_cols();
   Tensor out(Shape{batch, channels_, oh, ow});
   const std::size_t plane_in = geom_.in_h * geom_.in_w;
+  count_conv(batch, 2 * channels_ * pr * pc);
   core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
     std::vector<float> columns(pr * pc);
     for (std::size_t b = b0; b < b1; ++b) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nn/layer.hpp"
+#include "obs/trace.hpp"
 
 namespace tdfm::nn {
 
@@ -28,13 +29,31 @@ class Sequential : public Layer {
     return ref;
   }
 
+  // The traced variants run identical arithmetic in identical order — a
+  // span is pure timing — so results stay bit-identical with tracing on.
   Tensor forward(const Tensor& input, bool training) override {
+    if (obs::trace_enabled()) {
+      Tensor x = input;
+      for (auto& layer : layers_) {
+        obs::Span span(layer->name() + ":fwd");
+        x = layer->forward(x, training);
+      }
+      return x;
+    }
     Tensor x = input;
     for (auto& layer : layers_) x = layer->forward(x, training);
     return x;
   }
 
   Tensor backward(const Tensor& grad_output) override {
+    if (obs::trace_enabled()) {
+      Tensor g = grad_output;
+      for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+        obs::Span span((*it)->name() + ":bwd");
+        g = (*it)->backward(g);
+      }
+      return g;
+    }
     Tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->backward(g);

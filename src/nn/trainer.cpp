@@ -5,6 +5,10 @@
 
 #include "core/logging.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tdfm::nn {
@@ -47,7 +51,11 @@ double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
   const auto params = net.parameters();
   double epoch_loss = 0.0;
   float lr = opts_.lr;
+  obs::Stopwatch fit_watch;
+  const std::string epoch_span_name = net.name() + ":epoch";
   for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    obs::Span epoch_span(epoch_span_name);
+    const float epoch_lr = lr;
     if (opts_.shuffle) rng.shuffle(order);
     // Epoch loss is the sample-weighted mean of the batch means: the final
     // partial batch contributes in proportion to its size, not 1/batches.
@@ -70,6 +78,29 @@ double Trainer::fit(Network& net, const Tensor& images, BatchLossFn loss_fn,
     // it silently, skewing technique comparisons across optimiser choices.
     lr *= opts_.lr_decay;
     opt->set_lr(lr);
+    const double epoch_seconds = epoch_span.stop();
+    if (obs::metrics_enabled()) {
+      static obs::Counter epochs_done = obs::Registry::global().counter("train.epochs");
+      static obs::Counter samples_seen = obs::Registry::global().counter("train.samples");
+      static obs::Histogram epoch_time = obs::Registry::global().histogram(
+          "train.epoch_seconds", {0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0});
+      epochs_done.add(1);
+      samples_seen.add(n);
+      epoch_time.observe(epoch_seconds);
+    }
+    if (obs::telemetry_enabled()) {
+      obs::EpochRecord rec;
+      rec.net = net.name();
+      rec.epoch = epoch + 1;
+      rec.epochs = opts_.epochs;
+      rec.loss = epoch_loss;
+      rec.lr = epoch_lr;
+      rec.wall_seconds = epoch_seconds;
+      rec.total_seconds = fit_watch.elapsed_seconds();
+      rec.samples_per_second =
+          epoch_seconds > 0.0 ? static_cast<double>(n) / epoch_seconds : 0.0;
+      obs::emit_epoch(rec);
+    }
     TDFM_LOG(kDebug) << net.name() << " epoch " << epoch + 1 << '/' << opts_.epochs
                      << " loss " << epoch_loss;
     if (on_epoch_end) on_epoch_end(epoch, net);

@@ -53,7 +53,9 @@ class Trainer {
 
   /// Trains `net` on `images` [N, C, H, W]; returns the mean loss of the
   /// final epoch.  `rng` drives shuffling (fork it per trial for
-  /// reproducibility).
+  /// reproducibility).  Emits one obs::EpochRecord per epoch (loss, lr,
+  /// wall-time) whenever telemetry is enabled (--metrics flag or
+  /// obs::set_epoch_observer), and wraps each epoch in a trace span.
   double fit(Network& net, const Tensor& images, BatchLossFn loss_fn, Rng& rng,
              const EpochHook& on_epoch_end = {});
 

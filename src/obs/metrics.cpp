@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace tdfm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+Shard::Shard() {
+  for (auto& v : u64) v.store(0, std::memory_order_relaxed);
+  for (auto& v : f64) v.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+thread_local std::shared_ptr<Shard> t_shard;
+}  // namespace
+
+Shard& local_shard() {
+  if (!t_shard) {
+    t_shard = std::make_shared<Shard>();
+    Registry::global().register_shard(t_shard);
+  }
+  return *t_shard;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::register_shard(std::shared_ptr<detail::Shard> shard) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::move(shard));
+}
+
+Counter Registry::counter(const std::string& name) {
+  TDFM_CHECK(!name.empty(), "metric name must not be empty");
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& c : counters_) {
+    if (c.name == name) return Counter(this, c.slot);
+  }
+  for (const auto& g : gauges_) {
+    TDFM_CHECK(g->name != name, "metric name already used by a gauge");
+  }
+  for (const auto& h : hists_) {
+    TDFM_CHECK(h->name != name, "metric name already used by a histogram");
+  }
+  TDFM_CHECK(next_u64_ < detail::Shard::kU64Slots, "metric registry u64 slots exhausted");
+  counters_.push_back({name, next_u64_});
+  return Counter(this, next_u64_++);
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  TDFM_CHECK(!name.empty(), "metric name must not be empty");
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i]->name == name) return Gauge(this, i);
+  }
+  for (const auto& c : counters_) {
+    TDFM_CHECK(c.name != name, "metric name already used by a counter");
+  }
+  for (const auto& h : hists_) {
+    TDFM_CHECK(h->name != name, "metric name already used by a histogram");
+  }
+  auto info = std::make_unique<GaugeInfo>();
+  info->name = name;
+  gauges_.push_back(std::move(info));
+  return Gauge(this, gauges_.size() - 1);
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  TDFM_CHECK(!name.empty(), "metric name must not be empty");
+  TDFM_CHECK(!upper_bounds.empty(), "histogram needs at least one bucket bound");
+  TDFM_CHECK(std::is_sorted(upper_bounds.begin(), upper_bounds.end()),
+             "histogram bounds must be ascending");
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& h : hists_) {
+    if (h->name == name) {
+      TDFM_CHECK(h->bounds == upper_bounds,
+                 "histogram re-registered with different bounds");
+      return Histogram(this, &h->bounds, h->base_slot, h->sum_slot);
+    }
+  }
+  for (const auto& c : counters_) {
+    TDFM_CHECK(c.name != name, "metric name already used by a counter");
+  }
+  for (const auto& g : gauges_) {
+    TDFM_CHECK(g->name != name, "metric name already used by a gauge");
+  }
+  const std::size_t buckets = upper_bounds.size() + 1;  // +inf bucket
+  TDFM_CHECK(next_u64_ + buckets <= detail::Shard::kU64Slots,
+             "metric registry u64 slots exhausted");
+  TDFM_CHECK(next_f64_ < detail::Shard::kF64Slots,
+             "metric registry f64 slots exhausted");
+  auto info = std::make_unique<HistInfo>();
+  info->name = name;
+  info->bounds = std::move(upper_bounds);
+  info->base_slot = next_u64_;
+  info->sum_slot = next_f64_;
+  next_u64_ += buckets;
+  next_f64_ += 1;
+  hists_.push_back(std::move(info));
+  const auto& stored = hists_.back();
+  return Histogram(this, &stored->bounds, stored->base_slot, stored->sum_slot);
+}
+
+std::uint64_t Registry::sum_u64_locked(std::size_t slot) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->u64[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<MetricSample> Registry::scrape() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + hists_.size());
+  for (const auto& c : counters_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kCounter;
+    s.name = c.name;
+    s.count = sum_u64_locked(c.slot);
+    out.push_back(std::move(s));
+  }
+  for (const auto& g : gauges_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kGauge;
+    s.name = g->name;
+    s.value = g->value.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  for (const auto& h : hists_) {
+    MetricSample s;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.name = h->name;
+    s.upper_bounds = h->bounds;
+    s.bucket_counts.resize(h->bounds.size() + 1);
+    for (std::size_t b = 0; b < s.bucket_counts.size(); ++b) {
+      s.bucket_counts[b] = sum_u64_locked(h->base_slot + b);
+      s.count += s.bucket_counts[b];
+    }
+    double sum = 0.0;
+    for (const auto& shard : shards_) {
+      sum += shard->f64[h->sum_slot].load(std::memory_order_relaxed);
+    }
+    s.value = sum;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& v : shard->u64) v.store(0, std::memory_order_relaxed);
+    for (auto& v : shard->f64) v.store(0.0, std::memory_order_relaxed);
+  }
+  for (const auto& g : gauges_) g->value.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  const std::lock_guard<std::mutex> lk(reg_->mu_);
+  return reg_->sum_u64_locked(slot_);
+}
+
+void Gauge::set(double v) {
+  if (!metrics_enabled()) return;
+  const std::lock_guard<std::mutex> lk(reg_->mu_);
+  reg_->gauges_[index_]->value.store(v, std::memory_order_relaxed);
+}
+
+double Gauge::value() const {
+  const std::lock_guard<std::mutex> lk(reg_->mu_);
+  return reg_->gauges_[index_]->value.load(std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  auto& shard = detail::local_shard();
+  const auto& bounds = *bounds_;
+  // lower_bound keeps the documented "v <= upper_bounds[i]" semantics: a
+  // boundary value lands in its own bucket, not the next one.
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds.begin(), bounds.end(), v) -
+                               bounds.begin());
+  shard.u64[base_slot_ + bucket].fetch_add(1, std::memory_order_relaxed);
+  // C++20 atomic<double>::fetch_add; each thread only adds to its own slot,
+  // so the per-shard sum is an exact serial accumulation.
+  shard.f64[sum_slot_].fetch_add(v, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lk(reg_->mu_);
+  Snapshot s;
+  s.upper_bounds = *bounds_;
+  s.counts.resize(s.upper_bounds.size() + 1);
+  for (std::size_t b = 0; b < s.counts.size(); ++b) {
+    s.counts[b] = reg_->sum_u64_locked(base_slot_ + b);
+    s.total += s.counts[b];
+  }
+  for (const auto& shard : reg_->shards_) {
+    s.sum += shard->f64[sum_slot_].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace tdfm::obs

@@ -1,0 +1,179 @@
+// Metrics registry: counters, gauges, and fixed-bucket histograms.
+//
+// Hot-path increments must not perturb the training loops they observe, so
+// counter/histogram writes go to *thread-local shards* — each thread owns a
+// fixed-size block of relaxed atomics that no other thread writes.  A shard
+// write is an uncontended cache-line update; there is no lock, no
+// false-sharing with other threads' shards, and no effect on the order or
+// arithmetic of the observed computation (the repo's bit-for-bit determinism
+// guarantee therefore holds with metrics enabled).  Scrapes take the
+// registry mutex, sum every shard in registration order, and return
+// name-sorted samples.
+//
+// Everything is gated on a single runtime flag (set_metrics_enabled); the
+// disabled path is one relaxed load and a branch, measured in
+// bench_overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdfm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Per-thread metric storage.  Fixed capacity so slots never move: handles
+/// cache raw indices and increments stay lock-free while scrapers read
+/// concurrently (relaxed atomics on both sides — counts are monotone and a
+/// scrape is a snapshot, not a barrier).
+struct Shard {
+  static constexpr std::size_t kU64Slots = 1024;  ///< counters + histogram buckets
+  static constexpr std::size_t kF64Slots = 256;   ///< histogram sums
+  std::atomic<std::uint64_t> u64[kU64Slots];
+  std::atomic<double> f64[kF64Slots];
+  Shard();
+};
+
+/// This thread's shard; registered with Registry::global() on first use.
+[[nodiscard]] Shard& local_shard();
+}  // namespace detail
+
+/// Master switch for all metric recording.  Off by default.
+void set_metrics_enabled(bool on);
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+class Registry;
+
+/// Monotone counter handle (copyable, trivially cheap).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    detail::local_shard().u64[slot_].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current value merged across all shards (takes the registry lock).
+  [[nodiscard]] std::uint64_t value() const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::size_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_;
+  std::size_t slot_;
+};
+
+/// Last-write-wins gauge (centrally stored; sets are assumed rare).
+class Gauge {
+ public:
+  void set(double v);
+  [[nodiscard]] double value() const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, std::size_t index) : reg_(reg), index_(index) {}
+  Registry* reg_;
+  std::size_t index_;
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= upper_bounds[i];
+/// one implicit +inf bucket catches the rest.
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> upper_bounds;        ///< finite bounds, ascending
+    std::vector<std::uint64_t> counts;       ///< upper_bounds.size() + 1 entries
+    std::uint64_t total = 0;                 ///< sum of counts
+    double sum = 0.0;                        ///< sum of observed values
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, const std::vector<double>* bounds,
+            std::size_t base_slot, std::size_t sum_slot)
+      : reg_(reg), bounds_(bounds), base_slot_(base_slot), sum_slot_(sum_slot) {}
+  Registry* reg_;
+  const std::vector<double>* bounds_;
+  std::size_t base_slot_;  ///< first bucket slot; bounds->size()+1 slots follow
+  std::size_t sum_slot_;
+};
+
+/// One scraped metric, ready for export.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t count = 0;  ///< counter value / histogram total
+  double value = 0.0;       ///< gauge value / histogram sum
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+};
+
+class Registry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  [[nodiscard]] static Registry& global();
+
+  /// Registration is idempotent by name: the same name yields a handle onto
+  /// the same storage.  Names must not be reused across metric kinds.
+  [[nodiscard]] Counter counter(const std::string& name);
+  [[nodiscard]] Gauge gauge(const std::string& name);
+  [[nodiscard]] Histogram histogram(const std::string& name,
+                                    std::vector<double> upper_bounds);
+
+  /// Merges all shards and returns every metric, sorted by name.
+  [[nodiscard]] std::vector<MetricSample> scrape();
+
+  /// Zeroes every value (metrics stay registered).  Test/bench support; call
+  /// only while no other thread is incrementing.
+  void reset_values();
+
+  /// Internal: adopts a thread's shard so scrapes can see it (and so counts
+  /// survive thread exit).
+  void register_shard(std::shared_ptr<detail::Shard> shard);
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct CounterInfo {
+    std::string name;
+    std::size_t slot;
+  };
+  struct GaugeInfo {
+    std::string name;
+    std::atomic<double> value{0.0};
+  };
+  struct HistInfo {
+    std::string name;
+    std::vector<double> bounds;
+    std::size_t base_slot;
+    std::size_t sum_slot;
+  };
+
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  [[nodiscard]] std::uint64_t sum_u64_locked(std::size_t slot) const;
+
+  mutable std::mutex mu_;
+  std::vector<CounterInfo> counters_;
+  std::vector<std::unique_ptr<GaugeInfo>> gauges_;
+  std::vector<std::unique_ptr<HistInfo>> hists_;
+  std::vector<std::shared_ptr<detail::Shard>> shards_;
+  std::size_t next_u64_ = 0;
+  std::size_t next_f64_ = 0;
+};
+
+}  // namespace tdfm::obs

@@ -1,0 +1,13 @@
+// Umbrella header for the tdfm observability subsystem:
+//   - metrics.hpp   counters / gauges / histograms (thread-local shards)
+//   - trace.hpp     RAII spans -> Chrome trace_event JSON (Perfetto)
+//   - telemetry.hpp per-epoch / per-cell JSONL training telemetry
+//   - stopwatch.hpp plain wall-clock timing
+//   - json.hpp      emission helpers shared by the exporters
+#pragma once
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"

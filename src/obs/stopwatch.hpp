@@ -1,9 +1,14 @@
-// Wall-clock stopwatch used by the runtime-overhead analysis (§IV-E).
+// Wall-clock stopwatch — the plain timing half of the obs subsystem.
+//
+// Moved here from core/stopwatch.hpp so the repo has exactly one timing
+// utility: Stopwatch for "how long did this take" values that feed results
+// (e.g. §IV-E overhead numbers), and obs::Span (trace.hpp) when the same
+// interval should also appear in the Chrome trace.
 #pragma once
 
 #include <chrono>
 
-namespace tdfm {
+namespace tdfm::obs {
 
 /// Monotonic stopwatch; starts running on construction.
 class Stopwatch {
@@ -25,4 +30,4 @@ class Stopwatch {
   clock::time_point start_;
 };
 
-}  // namespace tdfm
+}  // namespace tdfm::obs

@@ -1,0 +1,67 @@
+// Training telemetry: per-epoch and per-experiment-cell records exported as
+// JSONL (one JSON object per line), plus an in-process observer hook for
+// tests and embedders.
+//
+// The Trainer emits an EpochRecord after every epoch, and the experiment
+// harness emits a CellRecord per (trial, fault level, technique) fit — the
+// raw trajectory behind the paper's Fig. 3/4 accuracy deltas and §IV-E
+// overhead table.  Records stream to the file given via the --metrics CLI
+// flag; at process exit the metrics registry is scraped and appended as
+// "counter"/"gauge"/"histogram" lines, so one file carries the full run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tdfm::obs {
+
+/// One training epoch of one network.
+struct EpochRecord {
+  std::string net;                 ///< network name (model zoo arch)
+  std::size_t epoch = 0;           ///< 1-based epoch index
+  std::size_t epochs = 0;          ///< total epochs of this fit
+  double loss = 0.0;               ///< sample-weighted mean epoch loss
+  double lr = 0.0;                 ///< learning rate used this epoch
+  double wall_seconds = 0.0;       ///< this epoch's wall-clock
+  double total_seconds = 0.0;      ///< cumulative since fit start (monotone)
+  double samples_per_second = 0.0;
+};
+
+/// One measured (trial, fault level, technique) cell of a study.
+struct CellRecord {
+  std::string model;
+  std::string fault_level;
+  std::string technique;
+  std::size_t trial = 0;  ///< 1-based
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double accuracy = 0.0;
+  double ad = 0.0;  ///< accuracy delta vs the trial's golden model
+};
+
+using EpochObserver = std::function<void(const EpochRecord&)>;
+
+/// True when any telemetry consumer is attached (JSONL sink or observer).
+/// One relaxed load — the hot-path guard.
+[[nodiscard]] bool telemetry_enabled();
+
+/// Installs (or clears, with an empty function) the in-process epoch hook.
+void set_epoch_observer(EpochObserver observer);
+
+/// Opens `path` as the JSONL sink (truncating), enables the metrics
+/// registry, and arranges a registry scrape + flush at process exit.  An
+/// empty path closes the sink.
+void set_metrics_output(const std::string& path);
+
+/// Emits one epoch record to the sink and/or observer.  No-op when
+/// telemetry is disabled.
+void emit_epoch(const EpochRecord& record);
+
+/// Emits one experiment cell record to the sink.
+void emit_cell(const CellRecord& record);
+
+/// Scrapes the metrics registry into the sink now (also runs at exit).
+void flush_metrics();
+
+}  // namespace tdfm::obs

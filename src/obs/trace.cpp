@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace tdfm::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}
+
+namespace {
+
+// Cap per thread (~48 MB of events at 48 B each) so a pathological run
+// degrades to dropped events instead of exhausting memory.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+  std::string output_path;
+  bool atexit_registered = false;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+std::atomic<std::uint64_t> g_dropped{0};
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local std::vector<std::string> t_span_stack;
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    t_buffer = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lk(s.mu);
+    t_buffer->tid = s.next_tid++;
+    s.buffers.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
+/// All timestamps are microseconds since this process-wide epoch; pinned no
+/// later than the first set_trace_enabled(true) so spans never precede it.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void record_event(std::string name, std::int64_t ts_us, std::int64_t dur_us) {
+  ThreadBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lk(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(TraceEvent{std::move(name), ts_us, dur_us, buf.tid});
+}
+
+void write_trace_at_exit() {
+  std::string path;
+  {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lk(s.mu);
+    path = s.output_path;
+  }
+  if (!path.empty()) write_chrome_trace(path);
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) {
+  if (on) trace_epoch();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::string current_span_name() {
+  return t_span_stack.empty() ? std::string{} : t_span_stack.back();
+}
+
+Span::Span(std::string_view name) : start_(clock::now()) {
+  if (trace_enabled()) {
+    active_ = true;
+    name_.assign(name);
+    t_span_stack.push_back(name_);
+  }
+}
+
+double Span::stop() {
+  if (done_) return elapsed_;
+  done_ = true;
+  const auto end = clock::now();
+  elapsed_ = std::chrono::duration<double>(end - start_).count();
+  if (active_) {
+    if (!t_span_stack.empty()) t_span_stack.pop_back();
+    const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                        start_ - trace_epoch())
+                        .count();
+    const auto dur =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start_).count();
+    record_event(std::move(name_), std::max<std::int64_t>(ts, 0), dur);
+  }
+  return elapsed_;
+}
+
+Span::~Span() {
+  if (!done_) stop();
+}
+
+double Span::elapsed_seconds() const {
+  if (done_) return elapsed_;
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+std::vector<TraceEvent> trace_events_snapshot() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lk(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void clear_trace_events() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lk(s.mu);
+    buffers = s.buffers;
+  }
+  for (const auto& buf : buffers) {
+    const std::lock_guard<std::mutex> lk(buf->mu);
+    buf->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped_events() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::vector<TraceEvent> events = trace_events_snapshot();
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
+  });
+  std::ofstream out(path, std::ios::trunc);
+  TDFM_CHECK(out.good(), "cannot open trace output file");
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i) out << ',';
+    out << "\n{\"name\":" << json_string(e.name)
+        << ",\"cat\":\"tdfm\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+        << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << '}';
+  }
+  out << "\n]}\n";
+  TDFM_CHECK(out.good(), "failed writing trace output file");
+}
+
+void set_trace_output(const std::string& path) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lk(s.mu);
+  s.output_path = path;
+  if (!path.empty() && !s.atexit_registered) {
+    s.atexit_registered = true;
+    std::atexit(write_trace_at_exit);
+  }
+}
+
+}  // namespace tdfm::obs

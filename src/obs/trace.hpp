@@ -1,0 +1,93 @@
+// RAII trace spans serialized to Chrome trace_event JSON.
+//
+// A Span times an interval on one thread.  When tracing is enabled it also
+// records a complete ('X') trace event into a per-thread buffer; the merged
+// buffers serialize to a JSON file loadable in Perfetto / chrome://tracing.
+// Spans nest: each thread keeps a span stack, and ThreadPool::for_range
+// reads current_span_name() to attribute its worker-side chunks to the span
+// that issued the parallel region.
+//
+// Recording never feeds back into the observed computation — the only
+// shared state is the per-thread event buffer (own mutex, uncontended) —
+// so threaded training stays bit-identical with tracing on
+// (tests/nn/threading_determinism_test.cpp).  When tracing is disabled a
+// Span is just a stopwatch: one relaxed load, no allocation, no buffer
+// traffic, which is what lets experiment code use Span unconditionally for
+// its wall-clock measurements.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdfm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+/// Master switch for trace recording.  Off by default.
+void set_trace_enabled(bool on);
+[[nodiscard]] inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One complete span: [ts_us, ts_us + dur_us] on thread `tid` (thread ids
+/// are small integers assigned in buffer-registration order).
+struct TraceEvent {
+  std::string name;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Innermost active span name on the calling thread ("" when none).
+[[nodiscard]] std::string current_span_name();
+
+/// RAII timed interval; records a trace event when tracing was enabled at
+/// construction.  Also the repo's general "time this and use the number"
+/// utility — stop() returns elapsed seconds, replacing ad-hoc Stopwatch
+/// pairs around measured sections.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span (idempotent): records the trace event if active and
+  /// returns the elapsed seconds.
+  double stop();
+
+  /// Seconds since construction (or the frozen value after stop()).
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+  double elapsed_ = 0.0;
+  bool active_ = false;
+  bool done_ = false;
+  std::string name_;
+};
+
+/// Copy of every recorded event across all threads (test support).
+[[nodiscard]] std::vector<TraceEvent> trace_events_snapshot();
+
+/// Discards all recorded events (buffers stay registered).
+void clear_trace_events();
+
+/// Events dropped because a per-thread buffer hit its cap.
+[[nodiscard]] std::uint64_t trace_dropped_events();
+
+/// Writes the Chrome trace_event JSON ({"traceEvents": [...]}) to `path`.
+void write_chrome_trace(const std::string& path);
+
+/// Registers `path` to receive write_chrome_trace() at process exit
+/// (the --trace CLI flag).  An empty path cancels.
+void set_trace_output(const std::string& path);
+
+}  // namespace tdfm::obs

@@ -4,10 +4,22 @@
 #include <cstring>
 
 #include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace tdfm {
 
 namespace {
+
+// FLOP accounting for the §IV-E overhead analysis.  One branch on the
+// disabled path; enabled increments go to the calling thread's shard, so
+// kernels running inside pool workers stay uncontended.
+void count_gemm(std::size_t m, std::size_t n, std::size_t k) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter calls = obs::Registry::global().counter("gemm.calls");
+  static obs::Counter flops = obs::Registry::global().counter("gemm.flops");
+  calls.add(1);
+  flops.add(2 * m * n * k);
+}
 // Block sizes chosen so one A-block plus one B-block fit comfortably in L1/L2
 // for the matrix sizes this library produces (k up to a few thousand from
 // im2col, n up to a few hundred output channels).
@@ -32,6 +44,7 @@ std::size_t row_grain(std::size_t m, std::size_t n, std::size_t k) {
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
+  count_gemm(m, n, k);
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
     if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
     for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
@@ -60,6 +73,7 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
   // C[i,j] = dot(A[i,:], B[j,:]) — both operands are traversed row-wise, so
   // a straightforward dot-product loop is already cache-friendly.
+  count_gemm(m, n, k);
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const float* __restrict__ arow = a + i * k;
@@ -81,6 +95,7 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
   // for weight gradients).  Parallel chunks split the i range: each chunk
   // still visits p in ascending order for its rows, so per-element addition
   // order — and therefore every bit of C — is partition-independent.
+  count_gemm(m, n, k);
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
     if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
     for (std::size_t p = 0; p < k; ++p) {

@@ -20,6 +20,8 @@
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
 #include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
 
@@ -109,8 +111,21 @@ TEST(ThreadingDeterminism, DepthwiseConvIsThreadCountInvariant) {
 
 // The flag-level guarantee: a ConvNet trained with --threads 1 and
 // --threads 4 ends with identical weights and identical test accuracy.
+// Runs with metrics AND tracing enabled — the obs instrumentation writes
+// only to side buffers, so it must not perturb a single bit of training.
 TEST(ThreadingDeterminism, TrainedConvNetIsBitIdenticalAcrossThreadCounts) {
   PoolGuard guard;
+  struct ObsGuard {
+    bool metrics = obs::metrics_enabled();
+    bool trace = obs::trace_enabled();
+    ~ObsGuard() {
+      obs::set_metrics_enabled(metrics);
+      obs::set_trace_enabled(trace);
+      obs::clear_trace_events();
+    }
+  } obs_guard;
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
   data::SyntheticSpec spec;
   spec.kind = data::DatasetKind::kGtsrbSim;
   spec.scale = 0.05;

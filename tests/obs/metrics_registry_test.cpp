@@ -1,0 +1,145 @@
+// Metrics registry: shard merging across threads, histogram bucketing,
+// concurrent scrapes, and the disabled fast path.  The registry is the
+// process-global one (as production code uses it), so every test reads
+// deltas or uses names of its own.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm::obs {
+namespace {
+
+class MetricsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = metrics_enabled();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override { set_metrics_enabled(was_enabled_); }
+
+  bool was_enabled_ = false;
+};
+
+TEST_F(MetricsRegistryTest, CounterMergesThreadLocalShards) {
+  Counter total = Registry::global().counter("test.shard_merge");
+  const std::uint64_t before = total.value();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      Counter mine = Registry::global().counter("test.shard_merge");
+      for (std::uint64_t i = 0; i < kAdds; ++i) mine.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(total.value() - before, kThreads * kAdds);
+}
+
+TEST_F(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  Counter a = Registry::global().counter("test.idempotent");
+  Counter b = Registry::global().counter("test.idempotent");
+  const std::uint64_t before = a.value();
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(a.value() - before, 5U);
+  EXPECT_EQ(b.value() - before, 5U);
+}
+
+TEST_F(MetricsRegistryTest, CrossKindNameReuseThrows) {
+  (void)Registry::global().counter("test.kind_clash");
+  EXPECT_THROW((void)Registry::global().gauge("test.kind_clash"), InvariantError);
+  EXPECT_THROW((void)Registry::global().histogram("test.kind_clash", {1.0}),
+               InvariantError);
+}
+
+TEST_F(MetricsRegistryTest, DisabledCounterIsNoOp) {
+  Counter c = Registry::global().counter("test.disabled");
+  const std::uint64_t before = c.value();
+  set_metrics_enabled(false);
+  c.add(100);
+  set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), before);
+}
+
+TEST_F(MetricsRegistryTest, GaugeKeepsLastWrite) {
+  Gauge g = Registry::global().gauge("test.gauge");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST_F(MetricsRegistryTest, HistogramBucketsObservations) {
+  Histogram h = Registry::global().histogram("test.hist", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.upper_bounds.size(), 3U);
+  ASSERT_EQ(snap.counts.size(), 4U);  // three finite buckets + the +inf bucket
+  EXPECT_EQ(snap.counts[0], 2U);      // 0.5 and the boundary value 1.0
+  EXPECT_EQ(snap.counts[1], 1U);      // 1.5
+  EXPECT_EQ(snap.counts[2], 1U);      // 3.0
+  EXPECT_EQ(snap.counts[3], 1U);      // 100 -> +inf
+  EXPECT_EQ(snap.total, 5U);
+  EXPECT_NEAR(snap.sum, 106.0, 1e-9);
+}
+
+TEST_F(MetricsRegistryTest, ScrapeWhileIncrementingStaysConsistent) {
+  Counter c = Registry::global().counter("test.scrape_race");
+  const std::uint64_t before = c.value();
+  constexpr std::uint64_t kAdds = 200000;
+  std::thread writer([] {
+    Counter mine = Registry::global().counter("test.scrape_race");
+    for (std::uint64_t i = 0; i < kAdds; ++i) mine.add(1);
+  });
+  // Concurrent scrapes must observe monotonically non-decreasing values and
+  // never tear (TSan build asserts the absence of data races).
+  std::uint64_t last = before;
+  for (int i = 0; i < 50; ++i) {
+    for (const MetricSample& m : Registry::global().scrape()) {
+      if (m.name != "test.scrape_race") continue;
+      EXPECT_GE(m.count, last);
+      last = m.count;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(c.value() - before, kAdds);
+}
+
+TEST_F(MetricsRegistryTest, ScrapeIsNameSortedAndTyped) {
+  (void)Registry::global().counter("test.zz_counter");
+  Gauge g = Registry::global().gauge("test.aa_gauge");
+  g.set(7.0);
+  const std::vector<MetricSample> samples = Registry::global().scrape();
+  EXPECT_TRUE(std::is_sorted(
+      samples.begin(), samples.end(),
+      [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; }));
+  bool saw_gauge = false;
+  for (const MetricSample& m : samples) {
+    if (m.name == "test.aa_gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(m.kind, MetricSample::Kind::kGauge);
+      EXPECT_DOUBLE_EQ(m.value, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST_F(MetricsRegistryTest, ResetValuesZeroesButKeepsRegistration) {
+  Counter c = Registry::global().counter("test.reset");
+  c.add(9);
+  EXPECT_GE(c.value(), 9U);
+  Registry::global().reset_values();
+  EXPECT_EQ(c.value(), 0U);
+  c.add(1);  // handle still works against the same slot
+  EXPECT_EQ(c.value(), 1U);
+}
+
+}  // namespace
+}  // namespace tdfm::obs

@@ -1,0 +1,119 @@
+// Trace spans: per-thread recording, nesting, ThreadPool chunk attribution,
+// and the Chrome trace_event JSON round-trip.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/thread_pool.hpp"
+#include "json_check.hpp"
+#include "obs/trace.hpp"
+
+namespace tdfm::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(true);
+    clear_trace_events();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    clear_trace_events();
+  }
+};
+
+int count_events(const std::string& name) {
+  int n = 0;
+  for (const TraceEvent& e : trace_events_snapshot()) {
+    if (e.name == name) ++n;
+  }
+  return n;
+}
+
+TEST_F(TraceTest, SpanRecordsOneCompleteEvent) {
+  { Span span("unit_span"); }
+  const auto events = trace_events_snapshot();
+  int found = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name != "unit_span") continue;
+    ++found;
+    EXPECT_GE(e.ts_us, 0);
+    EXPECT_GE(e.dur_us, 0);
+  }
+  EXPECT_EQ(found, 1);
+}
+
+TEST_F(TraceTest, SpansNestPerThread) {
+  EXPECT_EQ(current_span_name(), "");
+  Span outer("outer");
+  EXPECT_EQ(current_span_name(), "outer");
+  {
+    Span inner("inner");
+    EXPECT_EQ(current_span_name(), "inner");
+  }
+  EXPECT_EQ(current_span_name(), "outer");
+  outer.stop();
+  EXPECT_EQ(current_span_name(), "");
+}
+
+TEST_F(TraceTest, StopIsIdempotent) {
+  Span span("idem");
+  const double first = span.stop();
+  const double second = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_DOUBLE_EQ(span.elapsed_seconds(), first);
+  EXPECT_EQ(count_events("idem"), 1);
+}
+
+TEST_F(TraceTest, DisabledSpanTimesWithoutRecording) {
+  set_trace_enabled(false);
+  clear_trace_events();
+  Span span("quiet");
+  EXPECT_GE(span.stop(), 0.0);
+  EXPECT_TRUE(trace_events_snapshot().empty());
+  set_trace_enabled(true);
+}
+
+TEST_F(TraceTest, ForRangeChunksAttributeToIssuingSpan) {
+  core::ThreadPool::set_global_threads(4);
+  {
+    Span parent("region");
+    std::atomic<std::size_t> total{0};
+    core::parallel_for(0, 256, 16, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 256U);
+  }
+  EXPECT_GT(count_events("region/chunk"), 0);
+  core::ThreadPool::set_global_threads(1);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTrip) {
+  {
+    Span outer("outer_span");
+    Span inner("inner \"quoted\" span");
+  }
+  const std::string path = ::testing::TempDir() + "tdfm_trace_test.json";
+  write_chrome_trace(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  EXPECT_TRUE(test::json_valid(content)) << content;
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"outer_span\""), std::string::npos);
+  // The quoted name must round-trip escaped, not break the document.
+  EXPECT_NE(content.find("inner \\\"quoted\\\" span"), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tdfm::obs
