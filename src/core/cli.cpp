@@ -123,6 +123,36 @@ void add_common_bench_flags(CliParser& cli, int default_trials, int default_epoc
   add_obs_flags(cli);
 }
 
+void add_loadgen_flags(CliParser& cli, double default_duration, double default_rate,
+                       double default_warmup) {
+  cli.add_flag("duration", std::to_string(default_duration),
+               "seconds of measured load (> 0)");
+  cli.add_flag("rate", std::to_string(default_rate),
+               "open-loop arrival rate in requests/second (0 = unthrottled, "
+               "saturating load)");
+  cli.add_flag("warmup", std::to_string(default_warmup),
+               "seconds of unmeasured lead-in load (>= 0)");
+}
+
+LoadgenOptions parse_loadgen_flags(const CliParser& cli) {
+  LoadgenOptions opts;
+  opts.duration_s = cli.get_double("duration");
+  opts.rate_rps = cli.get_double("rate");
+  opts.warmup_s = cli.get_double("warmup");
+  if (opts.duration_s <= 0.0) {
+    throw ConfigError("--duration must be positive, got " +
+                      std::to_string(opts.duration_s));
+  }
+  if (opts.rate_rps < 0.0) {
+    throw ConfigError("--rate must be >= 0 (0 = unthrottled), got " +
+                      std::to_string(opts.rate_rps));
+  }
+  if (opts.warmup_s < 0.0) {
+    throw ConfigError("--warmup must be >= 0, got " + std::to_string(opts.warmup_s));
+  }
+  return opts;
+}
+
 void add_obs_flags(CliParser& cli) {
   cli.add_flag("metrics", "",
                "JSONL telemetry output: per-epoch/per-cell records plus a "

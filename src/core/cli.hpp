@@ -50,6 +50,25 @@ class CliParser {
 void add_common_bench_flags(CliParser& cli, int default_trials, int default_epochs,
                             double default_scale = 1.0);
 
+/// Parsed load-generation settings (the bench_serving open-loop driver).
+struct LoadgenOptions {
+  double duration_s = 0.0;  ///< measured interval length
+  double rate_rps = 0.0;    ///< request arrival rate; 0 = unthrottled (saturate)
+  double warmup_s = 0.0;    ///< discarded lead-in before measurement
+};
+
+/// Registers the load-generation flags:
+///   --duration (seconds of measured load)
+///   --rate     (open-loop arrival rate in requests/second; 0 = as fast as
+///               possible, i.e. saturation)
+///   --warmup   (seconds of unmeasured lead-in load)
+void add_loadgen_flags(CliParser& cli, double default_duration, double default_rate,
+                       double default_warmup);
+
+/// Reads and validates the load-generation flags (call after parse).  Throws
+/// ConfigError on non-positive duration, negative rate, or negative warmup.
+[[nodiscard]] LoadgenOptions parse_loadgen_flags(const CliParser& cli);
+
 /// Registers the observability flags every bench/example accepts:
 ///   --metrics <file>   stream training telemetry + metric scrape as JSONL
 ///   --trace <file>     record Chrome trace_event JSON (open in Perfetto)

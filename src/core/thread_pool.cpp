@@ -36,6 +36,12 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_worker() { return t_in_pool_worker; }
 
+ThreadPool::InlineScope::InlineScope() : previous_(t_in_pool_worker) {
+  t_in_pool_worker = true;
+}
+
+ThreadPool::InlineScope::~InlineScope() { t_in_pool_worker = previous_; }
+
 std::size_t ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);

@@ -60,6 +60,24 @@ class ThreadPool {
   /// regions inline).
   [[nodiscard]] static bool in_worker();
 
+  /// RAII marker: while alive, every for_range issued from this thread runs
+  /// inline (chunks in ascending order on the calling thread — the same
+  /// arithmetic, hence the same bits).  for_range is single-job and must not
+  /// be entered from several external threads at once, so long-lived service
+  /// threads that each run their own independent work (the tdfm::serve
+  /// inference workers) declare themselves inline instead of contending for
+  /// the shared scheduler.  Nests safely with pool workers and other scopes.
+  class InlineScope {
+   public:
+    InlineScope();
+    ~InlineScope();
+    InlineScope(const InlineScope&) = delete;
+    InlineScope& operator=(const InlineScope&) = delete;
+
+   private:
+    bool previous_;
+  };
+
   /// Process-wide pool shared by the numeric kernels.  Created on first use
   /// with `default_threads()` threads.
   [[nodiscard]] static ThreadPool& global();

@@ -74,6 +74,29 @@ std::size_t expected_weight_layers(Arch arch) {
   return 0;
 }
 
+nn::CheckpointMeta checkpoint_meta(Arch arch, const ModelConfig& config) {
+  nn::CheckpointMeta meta;
+  meta.arch = arch_name(arch);
+  meta.width = static_cast<std::uint32_t>(config.width);
+  meta.in_channels = static_cast<std::uint32_t>(config.in_channels);
+  meta.image_size = static_cast<std::uint32_t>(config.image_size);
+  meta.num_classes = static_cast<std::uint32_t>(config.num_classes);
+  return meta;
+}
+
+ModelConfig config_from_meta(const nn::CheckpointMeta& meta) {
+  ModelConfig c;
+  c.width = meta.width;
+  c.in_channels = meta.in_channels;
+  c.image_size = meta.image_size;
+  c.num_classes = meta.num_classes;
+  return c;
+}
+
+std::unique_ptr<nn::Network> build_from_meta(const nn::CheckpointMeta& meta, Rng& rng) {
+  return build_model(arch_from_name(meta.arch), config_from_meta(meta), rng);
+}
+
 namespace {
 
 void check_config(const ModelConfig& c) {

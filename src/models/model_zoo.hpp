@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "data/synthetic.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/network.hpp"
 #include "nn/trainer.hpp"
 
@@ -69,6 +70,20 @@ struct ModelConfig {
 
 /// Conv + FC layer count each architecture must report (Table III check).
 [[nodiscard]] std::size_t expected_weight_layers(Arch arch);
+
+/// v2 checkpoint metadata describing (arch, config) — pass to
+/// nn::save_checkpoint to produce a self-describing checkpoint that
+/// serve::ModelRegistry can load without out-of-band configuration.
+[[nodiscard]] nn::CheckpointMeta checkpoint_meta(Arch arch, const ModelConfig& config);
+
+/// Inverse of checkpoint_meta: the ModelConfig a v2 header describes.
+[[nodiscard]] ModelConfig config_from_meta(const nn::CheckpointMeta& meta);
+
+/// Materialises the architecture a v2 checkpoint header describes (weights
+/// still randomly initialised — follow with nn::load_checkpoint).  Throws
+/// ConfigError on an unknown architecture name.
+[[nodiscard]] std::unique_ptr<nn::Network> build_from_meta(const nn::CheckpointMeta& meta,
+                                                           Rng& rng);
 
 /// Per-architecture optimiser tuning.  The paper tunes each model with the
 /// hyperparameters its implementers recommend; at this scale the plain

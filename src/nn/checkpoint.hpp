@@ -2,26 +2,65 @@
 //
 // Training the heavier zoo members takes minutes on CPU; checkpoints let
 // applications train once and reuse (e.g. the golden model across repeated
-// AD evaluations, or shipping a fitted ensemble).  The format is
-// deliberately minimal: a magic header, the parameter scalar count, then
-// raw little-endian float32 — matching Network::save_weights()/
-// load_weights(), which validate the count against the target network's
-// structure on load.
+// AD evaluations, shipping a fitted ensemble, or feeding the serving
+// layer's ModelRegistry).  Two on-disk formats share a magic prefix:
+//
+//   v1: magic | count:u64 | float32 * count
+//       Count-only; the loader must already hold a structurally identical
+//       network, so v1 files need out-of-band architecture knowledge.
+//   v2: magic | meta (arch name, width, in_channels, image_size,
+//       num_classes) | count:u64 | float32 * count
+//       Self-describing: ModelRegistry::load() instantiates the right zoo
+//       architecture from the header alone.
+//
+// load_checkpoint reads both versions; save_checkpoint writes v1 unless a
+// CheckpointMeta is supplied.  The architecture is stored as its zoo *name*
+// (not the enum value) so the format survives enum reordering and nn stays
+// independent of the models library.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/network.hpp"
 
 namespace tdfm::nn {
 
-/// Writes the network's weights to `path`.  Throws tdfm::Error on I/O
-/// failure.
+/// Architecture metadata carried by a v2 checkpoint header — everything a
+/// registry needs to rebuild the network before loading its weights.
+struct CheckpointMeta {
+  std::uint32_t format_version = 2;  ///< set by the reader; 1 = count-only
+  std::string arch;                  ///< model zoo name ("ConvNet", ...)
+  std::uint32_t width = 0;           ///< base channel multiplier
+  std::uint32_t in_channels = 0;
+  std::uint32_t image_size = 0;
+  std::uint32_t num_classes = 0;
+
+  [[nodiscard]] bool operator==(const CheckpointMeta&) const = default;
+};
+
+/// Writes the network's weights to `path` as a v1 (count-only) checkpoint.
+/// Throws tdfm::Error on I/O failure.
 void save_checkpoint(Network& net, const std::string& path);
 
-/// Loads weights saved by save_checkpoint into a structurally identical
-/// network.  Throws tdfm::Error on I/O failure, format mismatch, or when
-/// the stored scalar count does not match the network.
+/// Writes a v2 checkpoint: `meta` followed by the weights.  Throws
+/// tdfm::Error on I/O failure or when meta.arch is empty.
+void save_checkpoint(Network& net, const std::string& path,
+                     const CheckpointMeta& meta);
+
+/// Reads the header of a v2 checkpoint.  Throws tdfm::Error on I/O failure,
+/// on a non-checkpoint file, or on a v1 file (which carries no metadata —
+/// callers must supply the architecture out of band).
+[[nodiscard]] CheckpointMeta read_checkpoint_meta(const std::string& path);
+
+/// Format version (1 or 2) of the checkpoint at `path`.  Throws tdfm::Error
+/// when the file is missing or not a tdfm checkpoint.
+[[nodiscard]] std::uint32_t checkpoint_format_version(const std::string& path);
+
+/// Loads weights saved by either save_checkpoint overload into a
+/// structurally identical network (v2 metadata is validated for internal
+/// consistency, then skipped).  Throws tdfm::Error on I/O failure, format
+/// mismatch, or when the stored scalar count does not match the network.
 void load_checkpoint(Network& net, const std::string& path);
 
 }  // namespace tdfm::nn

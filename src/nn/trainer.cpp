@@ -126,6 +126,16 @@ std::vector<int> predict_classes(Network& net, const Tensor& images,
   return out;
 }
 
+std::vector<int> predict_batch(Network& net, const Tensor& batch) {
+  TDFM_CHECK(batch.rank() >= 2 && batch.dim(0) > 0, "predict_batch needs a batch");
+  const Tensor logits = net.logits(batch, /*training=*/false);
+  std::vector<int> out(batch.dim(0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<int>(argmax(logits.row(i)));
+  }
+  return out;
+}
+
 Tensor predict_probabilities(Network& net, const Tensor& images, float temperature,
                              std::size_t batch_size) {
   const std::size_t n = images.dim(0);

@@ -73,6 +73,13 @@ class Trainer {
 [[nodiscard]] std::vector<int> predict_classes(Network& net, const Tensor& images,
                                                std::size_t batch_size = 64);
 
+/// Single forward pass over one already-formed batch (leading dim = batch);
+/// returns the argmax class per row.  Unlike predict_classes there is no
+/// internal re-batching: the caller owns batch formation.  This is the
+/// serving hot path — tdfm::serve coalesces requests into micro-batches
+/// precisely so this one call amortises the im2col+GEMM cost.
+[[nodiscard]] std::vector<int> predict_batch(Network& net, const Tensor& batch);
+
 /// Runs inference in batches and returns softmax probabilities [N, K] at the
 /// given temperature (used to capture teacher outputs for distillation).
 [[nodiscard]] Tensor predict_probabilities(Network& net, const Tensor& images,

@@ -29,6 +29,29 @@ Shard& local_shard() {
 
 }  // namespace detail
 
+std::vector<double> linear_buckets(double start, double step, std::size_t count) {
+  TDFM_CHECK(count >= 1, "need at least one bucket bound");
+  TDFM_CHECK(step > 0.0, "linear bucket step must be positive");
+  std::vector<double> bounds(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = start + static_cast<double>(i) * step;
+  }
+  return bounds;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count) {
+  TDFM_CHECK(count >= 1, "need at least one bucket bound");
+  TDFM_CHECK(start > 0.0, "exponential buckets start above zero");
+  TDFM_CHECK(factor > 1.0, "exponential bucket factor must exceed 1");
+  std::vector<double> bounds(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds[i] = v;
+    v *= factor;
+  }
+  return bounds;
+}
+
 void set_metrics_enabled(bool on) {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }

@@ -107,6 +107,16 @@ class Histogram {
   std::size_t sum_slot_;
 };
 
+/// Explicit-bucket-bounds helpers for Registry::histogram.  The histograms
+/// the training loop registers are tuned for epoch-scale seconds; request
+/// serving needs µs-scale buckets, and hand-writing 20 ascending bounds is
+/// error-prone.  Both return `count` ascending finite bounds (the registry
+/// adds the +inf bucket itself).
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step,
+                                                 std::size_t count);
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t count);
+
 /// One scraped metric, ready for export.
 struct MetricSample {
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -1,0 +1,134 @@
+#include "serve/batching_queue.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm::serve {
+
+namespace {
+
+void reject(Request& req, Status status) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter cap =
+        obs::Registry::global().counter("serve.rejected_capacity");
+    static obs::Counter ddl =
+        obs::Registry::global().counter("serve.rejected_deadline");
+    static obs::Counter shut =
+        obs::Registry::global().counter("serve.rejected_shutdown");
+    switch (status) {
+      case Status::kRejectedQueueFull: cap.add(1); break;
+      case Status::kRejectedDeadline: ddl.add(1); break;
+      case Status::kRejectedShutdown: shut.add(1); break;
+      default: break;
+    }
+  }
+  Response resp;
+  resp.status = status;
+  req.promise.set_value(resp);
+}
+
+}  // namespace
+
+BatchingQueue::BatchingQueue(BatchingConfig config) : config_(config) {
+  TDFM_CHECK(config_.max_batch_size >= 1, "max_batch_size must be >= 1");
+  TDFM_CHECK(config_.max_queue_depth >= config_.max_batch_size,
+             "max_queue_depth must admit at least one full batch");
+}
+
+std::future<Response> BatchingQueue::push(Tensor image, Clock::time_point deadline) {
+  Request req;
+  req.image = std::move(image);
+  req.enqueue = Clock::now();
+  req.deadline = deadline;
+  std::future<Response> future = req.promise.get_future();
+
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      reject(req, Status::kRejectedShutdown);
+      return future;
+    }
+    if (req.deadline <= req.enqueue) {
+      ++rejected_deadline_;
+      reject(req, Status::kRejectedDeadline);
+      return future;
+    }
+    if (pending_.size() >= config_.max_queue_depth) {
+      ++rejected_capacity_;
+      reject(req, Status::kRejectedQueueFull);
+      return future;
+    }
+    pending_.push_back(std::move(req));
+  }
+  ready_cv_.notify_one();
+  return future;
+}
+
+std::vector<Request> BatchingQueue::pop_batch() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (shutdown_) return {};
+    // Deadline-expired requests are rejected here, before batch formation,
+    // so a worker never spends compute on an answer nobody is waiting for.
+    const Clock::time_point now = Clock::now();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->deadline <= now) {
+        ++rejected_deadline_;
+        reject(*it, Status::kRejectedDeadline);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (pending_.size() >= config_.max_batch_size ||
+        (!pending_.empty() &&
+         now - pending_.front().enqueue >=
+             std::chrono::microseconds(config_.max_queue_delay_us))) {
+      const std::size_t take = std::min(pending_.size(), config_.max_batch_size);
+      std::vector<Request> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      return batch;
+    }
+    if (pending_.empty()) {
+      ready_cv_.wait(lk);
+    } else {
+      // Wake at the oldest request's flush point (or earlier on new work).
+      ready_cv_.wait_until(lk, pending_.front().enqueue +
+                                   std::chrono::microseconds(config_.max_queue_delay_us));
+    }
+  }
+}
+
+void BatchingQueue::shutdown() {
+  std::deque<Request> drained;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+    drained.swap(pending_);
+  }
+  for (Request& req : drained) reject(req, Status::kRejectedShutdown);
+  ready_cv_.notify_all();
+}
+
+std::size_t BatchingQueue::depth() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+std::uint64_t BatchingQueue::rejected_capacity() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return rejected_capacity_;
+}
+
+std::uint64_t BatchingQueue::rejected_deadline() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return rejected_deadline_;
+}
+
+}  // namespace tdfm::serve

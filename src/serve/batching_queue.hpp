@@ -1,0 +1,71 @@
+// Micro-batching request queue with admission control.
+//
+// Single-image requests are coalesced into micro-batches so inference
+// amortises the im2col+GEMM cost the way training batches do: a batch is
+// flushed to a worker when `max_batch_size` requests are pending OR the
+// oldest pending request has waited `max_queue_delay_us` — whichever comes
+// first.  Under saturating load the queue always hands out full batches;
+// under trickle load no request waits longer than the delay bound.
+//
+// Admission control keeps the system degrade-gracefully-never-OOM:
+//   - the queue is bounded at `max_queue_depth`; a push beyond that is
+//     rejected immediately (kRejectedQueueFull) instead of queued,
+//   - requests whose deadline expires while queued are rejected at batch
+//     formation (kRejectedDeadline) and never reach a worker,
+//   - shutdown() drains everything still pending with kRejectedShutdown.
+// Every push therefore resolves its future exactly once.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace tdfm::serve {
+
+struct BatchingConfig {
+  std::size_t max_batch_size = 8;        ///< flush threshold (and batch cap)
+  std::uint64_t max_queue_delay_us = 2000;  ///< oldest-request wait bound
+  std::size_t max_queue_depth = 256;     ///< admission bound (>= max_batch_size)
+};
+
+class BatchingQueue {
+ public:
+  explicit BatchingQueue(BatchingConfig config);
+
+  /// Admits one request (or rejects it immediately when the queue is full,
+  /// the deadline already passed, or the queue is shut down).  Returns the
+  /// future either way — it is always eventually resolved.
+  [[nodiscard]] std::future<Response> push(Tensor image, Clock::time_point deadline);
+
+  /// Blocks until a batch is ready per the flush rule, removes and returns
+  /// it (1..max_batch_size requests, deadline-expired ones already rejected
+  /// and excluded).  Returns an empty vector exactly when the queue is shut
+  /// down and drained — the worker-exit signal.
+  [[nodiscard]] std::vector<Request> pop_batch();
+
+  /// Rejects every pending request with kRejectedShutdown and makes all
+  /// current and future pop_batch calls return empty.  Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] const BatchingConfig& config() const { return config_; }
+
+  /// Rejection tallies (also exported as obs counters by the engine).
+  [[nodiscard]] std::uint64_t rejected_capacity() const;
+  [[nodiscard]] std::uint64_t rejected_deadline() const;
+
+ private:
+  BatchingConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Request> pending_;
+  bool shutdown_ = false;
+  std::uint64_t rejected_capacity_ = 0;
+  std::uint64_t rejected_deadline_ = 0;
+};
+
+}  // namespace tdfm::serve

@@ -1,0 +1,167 @@
+#include "serve/inference_engine.hpp"
+
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tdfm::serve {
+
+namespace {
+
+const char* kStatusNames[] = {"ok", "rejected_queue_full", "rejected_deadline",
+                              "rejected_shutdown", "rejected_no_model"};
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Stacks single-sample tensors into one batch tensor (leading batch dim).
+Tensor stack_batch(const std::vector<Request>& batch) {
+  const Shape& sample = batch.front().image.shape();
+  std::vector<std::size_t> dims;
+  dims.reserve(sample.rank() + 1);
+  dims.push_back(batch.size());
+  for (std::size_t d = 0; d < sample.rank(); ++d) dims.push_back(sample[d]);
+  Tensor out{Shape(dims)};
+  const std::size_t row = batch.front().image.numel();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TDFM_CHECK(batch[i].image.shape() == sample,
+               "all requests of a batch must share the sample shape");
+    std::memcpy(out.data() + i * row, batch[i].image.data(), row * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  return kStatusNames[static_cast<std::size_t>(status)];
+}
+
+InferenceEngine::InferenceEngine(ModelRegistry& registry, std::string model_name,
+                                 EngineConfig cfg)
+    : config_(cfg),
+      model_name_(std::move(model_name)),
+      handle_(registry.handle(model_name_)),
+      queue_(cfg.batching) {
+  TDFM_CHECK(config_.workers >= 1, "engine needs at least one worker");
+  TDFM_CHECK(config_.workers <= registry.replica_slots(),
+             "registry has fewer replica slots than engine workers");
+  TDFM_CHECK(!config_.use_thread_pool || config_.workers == 1,
+             "use_thread_pool requires a single worker (for_range is "
+             "single-job across external threads)");
+  workers_.reserve(config_.workers);
+  for (std::size_t slot = 0; slot < config_.workers; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<Response> InferenceEngine::submit(Tensor image) {
+  const Clock::time_point deadline =
+      config_.default_deadline_us == 0
+          ? Clock::time_point::max()
+          : Clock::now() + std::chrono::microseconds(config_.default_deadline_us);
+  return submit(std::move(image), deadline);
+}
+
+std::future<Response> InferenceEngine::submit(Tensor image,
+                                              Clock::time_point deadline) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled()) {
+    static obs::Counter requests = obs::Registry::global().counter("serve.requests");
+    requests.add(1);
+  }
+  return queue_.push(std::move(image), deadline);
+}
+
+void InferenceEngine::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.shutdown();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rejected_capacity = queue_.rejected_capacity();
+  s.rejected_deadline = queue_.rejected_deadline();
+  s.rejected_no_model = rejected_no_model_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void InferenceEngine::worker_loop(std::size_t slot) {
+  // Multi-worker engines run their forwards inline: N single-batch forwards
+  // on N workers are the parallelism, and the shared for_range scheduler is
+  // single-job / non-reentrant across external threads.  A single-worker
+  // engine may instead opt into the pool (use_thread_pool) so each batched
+  // forward fans its rows out across pool threads.
+  std::optional<core::ThreadPool::InlineScope> inline_scope;
+  if (!config_.use_thread_pool) inline_scope.emplace();
+  for (;;) {
+    std::vector<Request> batch = queue_.pop_batch();
+    if (batch.empty()) return;  // shutdown drained the queue
+
+    // The hot-swap point: one acquire load pins a fully-constructed version
+    // for this entire batch.
+    std::shared_ptr<ServedModel> model = handle_.snapshot();
+    const Clock::time_point formed = Clock::now();
+    if (!model) {
+      rejected_no_model_.fetch_add(batch.size(), std::memory_order_relaxed);
+      for (Request& req : batch) {
+        Response resp;
+        resp.status = Status::kRejectedNoModel;
+        req.promise.set_value(resp);
+      }
+      continue;
+    }
+
+    obs::Span span("serve:batch");
+    const Tensor input = stack_batch(batch);
+    const std::vector<int> classes = model->predict(input, slot);
+    const double compute_us = span.stop() * 1e6;
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    served_.fetch_add(batch.size(), std::memory_order_relaxed);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Response resp;
+      resp.status = Status::kOk;
+      resp.predicted_class = classes[i];
+      resp.model_version = model->version();
+      resp.queue_us = us_between(batch[i].enqueue, formed);
+      resp.compute_us = compute_us;
+      resp.batch_size = batch.size();
+      batch[i].promise.set_value(resp);
+    }
+
+    if (obs::metrics_enabled()) {
+      static obs::Histogram queue_wait = obs::Registry::global().histogram(
+          "serve.queue_wait_us", obs::exponential_buckets(10.0, 2.0, 16));
+      static obs::Histogram compute = obs::Registry::global().histogram(
+          "serve.compute_us", obs::exponential_buckets(10.0, 2.0, 16));
+      static obs::Histogram batch_hist = obs::Registry::global().histogram(
+          "serve.batch_size", obs::linear_buckets(1.0, 1.0, 32));
+      static obs::Counter batches_c = obs::Registry::global().counter("serve.batches");
+      static obs::Counter served_c = obs::Registry::global().counter("serve.served");
+      static obs::Gauge depth = obs::Registry::global().gauge("serve.queue_depth");
+      for (const Request& req : batch) {
+        queue_wait.observe(us_between(req.enqueue, formed));
+      }
+      compute.observe(compute_us);
+      batch_hist.observe(static_cast<double>(batch.size()));
+      batches_c.add(1);
+      served_c.add(batch.size());
+      depth.set(static_cast<double>(queue_.depth()));
+    }
+  }
+}
+
+}  // namespace tdfm::serve

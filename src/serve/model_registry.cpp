@@ -1,0 +1,210 @@
+#include "serve/model_registry.hpp"
+
+#include <utility>
+
+#include "nn/checkpoint.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace tdfm::serve {
+
+ServedModel::ServedModel(std::string name, std::uint64_t version,
+                         std::vector<MemberInit> members, std::size_t slots)
+    : name_(std::move(name)), version_(version), slots_(slots) {
+  TDFM_CHECK(!members.empty(), "a served model needs at least one member");
+  TDFM_CHECK(slots_ >= 1, "a served model needs at least one replica slot");
+  num_classes_ = members.front().fitted->num_classes();
+  replicas_.reserve(members.size());
+  // The replica init RNG is irrelevant to behaviour (every weight is
+  // overwritten by the copy below) but a fixed seed keeps construction
+  // deterministic anyway.
+  Rng rng(0x5e7f3u + version_);
+  for (MemberInit& member : members) {
+    TDFM_CHECK(member.factory != nullptr && member.fitted != nullptr,
+               "member needs a factory and a fitted network");
+    TDFM_CHECK(member.fitted->num_classes() == num_classes_,
+               "ensemble members must agree on the class count");
+    std::vector<std::unique_ptr<nn::Network>> slots_for_member;
+    slots_for_member.reserve(slots_);
+    for (std::size_t s = 0; s < slots_; ++s) {
+      std::unique_ptr<nn::Network> replica = member.factory(rng);
+      replica->copy_weights_from(*member.fitted);
+      slots_for_member.push_back(std::move(replica));
+    }
+    replicas_.push_back(std::move(slots_for_member));
+  }
+}
+
+std::vector<int> ServedModel::predict(const Tensor& batch, std::size_t slot) {
+  TDFM_CHECK(slot < slots_, "replica slot out of range");
+  const std::size_t n = batch.dim(0);
+  if (replicas_.size() == 1) {
+    return nn::predict_batch(*replicas_[0][slot], batch);
+  }
+  // Ensemble: majority vote over member argmaxes, ties (and only ties)
+  // broken by summed softmax confidence — the EnsembleClassifier rule.
+  const std::size_t k = num_classes_;
+  std::vector<std::size_t> votes(n * k, 0);
+  std::vector<float> confidence(n * k, 0.0F);
+  for (auto& member : replicas_) {
+    const Tensor probs =
+        softmax_rows(member[slot]->logits(batch, /*training=*/false), 1.0F);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = probs.row(i);
+      ++votes[i * k + argmax(row)];
+      for (std::size_t j = 0; j < k; ++j) confidence[i * k + j] += row[j];
+    }
+  }
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      const std::size_t vj = votes[i * k + j];
+      const std::size_t vb = votes[i * k + best];
+      if (vj > vb || (vj == vb && confidence[i * k + j] > confidence[i * k + best])) {
+        best = j;
+      }
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+// The publication slot.  Semantically this is std::atomic<std::shared_ptr>,
+// but hand-rolled over a one-word acquire/release spinlock: libstdc++'s
+// _Sp_atomic parks spinning threads on a futex proxy, which defeats TSan's
+// happens-before tracking and floods the (tier-1, TSan-gated) serve suite
+// with false races.  The critical section is a single shared_ptr copy (one
+// refcount bump), publications are rare, and readers take the slot once per
+// batch — contention is negligible by construction.
+class VersionSlot {
+ public:
+  [[nodiscard]] std::shared_ptr<ServedModel> load() const {
+    lock();
+    std::shared_ptr<ServedModel> out = ptr_;
+    unlock();
+    return out;
+  }
+
+  void store(std::shared_ptr<ServedModel> next) {
+    lock();
+    ptr_.swap(next);
+    unlock();
+    // `next` (the previous version) releases outside the critical section;
+    // in-flight batches holding it keep it alive until they finish.
+  }
+
+ private:
+  void lock() const {
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void unlock() const { locked_.store(false, std::memory_order_release); }
+
+  mutable std::atomic<bool> locked_{false};
+  std::shared_ptr<ServedModel> ptr_;
+};
+
+struct ModelRegistry::Handle::Entry {
+  VersionSlot current;
+  std::atomic<std::uint64_t> next_version{1};
+};
+
+std::shared_ptr<ServedModel> ModelRegistry::Handle::snapshot() const {
+  if (entry_ == nullptr) return nullptr;
+  return entry_->current.load();
+}
+
+ModelRegistry::ModelRegistry(std::size_t replica_slots) : slots_(replica_slots) {
+  TDFM_CHECK(slots_ >= 1, "registry needs at least one replica slot");
+}
+
+ModelRegistry::~ModelRegistry() = default;
+
+ModelRegistry::Handle::Entry& ModelRegistry::entry(const std::string& name) {
+  TDFM_CHECK(!name.empty(), "model name must not be empty");
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::unique_ptr<Handle::Entry>& slot = entries_[name];
+  if (!slot) slot = std::make_unique<Handle::Entry>();
+  return *slot;
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     std::vector<MemberInit> members) {
+  Handle::Entry& e = entry(name);
+  const std::uint64_t version = e.next_version.fetch_add(1, std::memory_order_relaxed);
+  auto model = std::make_shared<ServedModel>(name, version, std::move(members), slots_);
+  // One slot store publishes the fully-constructed version; readers that
+  // loaded the previous shared_ptr keep it alive until their batch is done.
+  e.current.store(std::move(model));
+  return version;
+}
+
+std::uint64_t ModelRegistry::install(const std::string& name,
+                                     std::vector<MemberInit> members) {
+  return publish(name, std::move(members));
+}
+
+std::uint64_t ModelRegistry::load(const std::string& name,
+                                  const std::string& checkpoint_path) {
+  const nn::CheckpointMeta meta = nn::read_checkpoint_meta(checkpoint_path);
+  const models::Arch arch = models::arch_from_name(meta.arch);
+  return load(name, checkpoint_path, arch, models::config_from_meta(meta));
+}
+
+std::uint64_t ModelRegistry::load(const std::string& name,
+                                  const std::string& checkpoint_path,
+                                  models::Arch arch,
+                                  const models::ModelConfig& config) {
+  MemberInit member;
+  member.factory = models::make_factory(arch, config);
+  Rng rng(0x10adu);
+  member.fitted = member.factory(rng);
+  nn::load_checkpoint(*member.fitted, checkpoint_path);
+  std::vector<MemberInit> members;
+  members.push_back(std::move(member));
+  return publish(name, std::move(members));
+}
+
+std::uint64_t ModelRegistry::load_ensemble(
+    const std::string& name, const std::vector<std::string>& checkpoint_paths) {
+  TDFM_CHECK(!checkpoint_paths.empty(), "ensemble needs at least one checkpoint");
+  std::vector<MemberInit> members;
+  members.reserve(checkpoint_paths.size());
+  Rng rng(0x10adu);
+  for (const std::string& path : checkpoint_paths) {
+    const nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
+    MemberInit member;
+    member.factory = models::make_factory(models::arch_from_name(meta.arch),
+                                          models::config_from_meta(meta));
+    member.fitted = member.factory(rng);
+    nn::load_checkpoint(*member.fitted, path);
+    members.push_back(std::move(member));
+  }
+  return publish(name, std::move(members));
+}
+
+ModelRegistry::Handle ModelRegistry::handle(const std::string& name) {
+  return Handle(&entry(name));
+}
+
+std::shared_ptr<ServedModel> ModelRegistry::current(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second->current.load();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    if (e->current.load() != nullptr) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace tdfm::serve

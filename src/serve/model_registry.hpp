@@ -1,0 +1,141 @@
+// Named + versioned model store with wait-light hot swap.
+//
+// A *logical model* is what clients address by name; a *ServedModel* is one
+// immutable-by-convention version of it: every member network replicated
+// once per worker slot.  Replication exists because a forward pass mutates
+// layer caches, so one nn::Network cannot run two batches concurrently —
+// instead worker slot `s` owns replica `s` of every member exclusively, and
+// N workers serve N batches in parallel with zero synchronisation on the
+// networks themselves.
+//
+// Hot swap: each name maps to a stable Entry whose current version lives in
+// a one-word-spinlock-guarded shared_ptr slot (atomic<shared_ptr> in spirit;
+// hand-rolled so TSan models it exactly — see the VersionSlot comment in the
+// .cpp).  Publishing a new version is one slot store; a worker takes one
+// slot load (a refcount bump) per *batch*, so a batch is always served
+// end-to-end by exactly one fully-constructed version (never a half-swapped
+// mix), and in-flight batches keep the old version alive via shared
+// ownership until they finish.
+//
+// Versions loaded from v2 checkpoints are self-describing (the header names
+// the zoo architecture and geometry); v1 count-only checkpoints need the
+// architecture supplied explicitly.  An ensemble is several member
+// checkpoints behind one name — served with the same majority-vote +
+// summed-confidence-tiebreak rule as mitigation::EnsembleClassifier, so the
+// paper's highest-inference-cost technique is exercised end to end on the
+// request path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "models/model_zoo.hpp"
+#include "nn/network.hpp"
+
+namespace tdfm::serve {
+
+/// One member of a logical model: the fitted network plus a factory that
+/// builds structurally identical instances (for per-slot replicas).
+struct MemberInit {
+  nn::NetworkFactory factory;
+  std::unique_ptr<nn::Network> fitted;
+};
+
+/// One immutable version of a logical model, replicated per worker slot.
+class ServedModel {
+ public:
+  /// Builds `slots` replicas of every member and copies the fitted weights
+  /// into each (including slot 0, so every slot is bit-identical by
+  /// construction).  The fitted networks are only read.
+  ServedModel(std::string name, std::uint64_t version,
+              std::vector<MemberInit> members, std::size_t slots);
+
+  /// Classifies one micro-batch (leading dim = batch) using slot `slot`'s
+  /// replicas.  Each slot must be driven by at most one thread at a time —
+  /// the InferenceEngine maps worker i to slot i.  Single member: argmax.
+  /// Multiple members: majority vote, ties broken by summed softmax
+  /// confidence (mirrors mitigation::EnsembleClassifier).
+  [[nodiscard]] std::vector<int> predict(const Tensor& batch, std::size_t slot);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::size_t num_members() const { return replicas_.size(); }
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::string name_;
+  std::uint64_t version_;
+  std::size_t slots_;
+  std::size_t num_classes_;
+  /// replicas_[member][slot]; slot s is owned by worker s while serving.
+  std::vector<std::vector<std::unique_ptr<nn::Network>>> replicas_;
+};
+
+class ModelRegistry {
+ public:
+  /// `replica_slots` = number of concurrent workers a version must support.
+  explicit ModelRegistry(std::size_t replica_slots = 1);
+  ~ModelRegistry();  // out of line: Handle::Entry is complete only in the .cpp
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Stable, copyable accessor bound to one logical model name.  snapshot()
+  /// is a single slot load (one refcount bump) — the per-batch hot-path read.
+  class Handle {
+   public:
+    Handle() = default;
+    /// Current version (nullptr when none is loaded yet).
+    [[nodiscard]] std::shared_ptr<ServedModel> snapshot() const;
+
+   private:
+    friend class ModelRegistry;
+    struct Entry;
+    explicit Handle(Entry* entry) : entry_(entry) {}
+    Entry* entry_ = nullptr;
+  };
+
+  /// Publishes a new version built from already-fitted members.  Returns
+  /// the version number (1-based, monotone per name).
+  std::uint64_t install(const std::string& name, std::vector<MemberInit> members);
+
+  /// Loads a self-describing v2 checkpoint: instantiates the architecture
+  /// named in the header, restores the weights, publishes.  Throws on v1
+  /// files (no metadata) — use the explicit-architecture overload.
+  std::uint64_t load(const std::string& name, const std::string& checkpoint_path);
+
+  /// Loads a v1 (count-only) checkpoint with the architecture supplied out
+  /// of band.  Also accepts v2 files (the header is validated then unused).
+  std::uint64_t load(const std::string& name, const std::string& checkpoint_path,
+                     models::Arch arch, const models::ModelConfig& config);
+
+  /// Loads several v2 checkpoints as the members of one logical ensemble.
+  std::uint64_t load_ensemble(const std::string& name,
+                              const std::vector<std::string>& checkpoint_paths);
+
+  /// Handle for `name`, creating an empty entry when absent (a model can be
+  /// loaded after engines already hold handles to it).
+  [[nodiscard]] Handle handle(const std::string& name);
+
+  /// Convenience: current version of `name` (nullptr when none / unknown).
+  [[nodiscard]] std::shared_ptr<ServedModel> current(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t replica_slots() const { return slots_; }
+
+ private:
+  Handle::Entry& entry(const std::string& name);
+  std::uint64_t publish(const std::string& name, std::vector<MemberInit> members);
+
+  std::size_t slots_;
+  mutable std::mutex mu_;  ///< guards the name map only, never the hot path
+  std::map<std::string, std::unique_ptr<Handle::Entry>> entries_;
+};
+
+}  // namespace tdfm::serve

@@ -103,6 +103,56 @@ TEST(Cli, UsageListsFlags) {
   EXPECT_NE(usage.find("number of epochs"), std::string::npos);
 }
 
+// ------------------------------------------------------------ loadgen flags
+
+TEST(Cli, LoadgenDefaultsApply) {
+  CliParser cli;
+  add_loadgen_flags(cli, /*default_duration=*/3.0, /*default_rate=*/0.0,
+                    /*default_warmup=*/0.5);
+  const auto args = argv_of({"prog"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  const LoadgenOptions opts = parse_loadgen_flags(cli);
+  EXPECT_DOUBLE_EQ(opts.duration_s, 3.0);
+  EXPECT_DOUBLE_EQ(opts.rate_rps, 0.0);  // 0 = open throttle (saturate)
+  EXPECT_DOUBLE_EQ(opts.warmup_s, 0.5);
+}
+
+TEST(Cli, LoadgenFlagsParse) {
+  CliParser cli;
+  add_loadgen_flags(cli, 3.0, 0.0, 0.5);
+  const auto args =
+      argv_of({"prog", "--duration", "10", "--rate=250.5", "--warmup", "0"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  const LoadgenOptions opts = parse_loadgen_flags(cli);
+  EXPECT_DOUBLE_EQ(opts.duration_s, 10.0);
+  EXPECT_DOUBLE_EQ(opts.rate_rps, 250.5);
+  EXPECT_DOUBLE_EQ(opts.warmup_s, 0.0);
+}
+
+TEST(Cli, LoadgenNonNumericValueThrows) {
+  CliParser cli;
+  add_loadgen_flags(cli, 3.0, 0.0, 0.5);
+  const auto args = argv_of({"prog", "--duration", "fast"});
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_THROW((void)parse_loadgen_flags(cli), ConfigError);
+}
+
+TEST(Cli, LoadgenValidationRejectsBadRanges) {
+  const auto parse_with = [](std::initializer_list<const char*> extra) {
+    CliParser cli;
+    add_loadgen_flags(cli, 3.0, 0.0, 0.5);
+    std::vector<const char*> args{"prog"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    EXPECT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+    return parse_loadgen_flags(cli);
+  };
+  EXPECT_THROW((void)parse_with({"--duration", "0"}), ConfigError);
+  EXPECT_THROW((void)parse_with({"--duration", "-1"}), ConfigError);
+  EXPECT_THROW((void)parse_with({"--rate", "-0.1"}), ConfigError);
+  EXPECT_THROW((void)parse_with({"--warmup", "-2"}), ConfigError);
+  EXPECT_NO_THROW((void)parse_with({"--warmup", "0", "--rate", "0"}));
+}
+
 // ---------------------------------------------------------------- AsciiTable
 
 TEST(Table, RendersAllCells) {

@@ -66,6 +66,82 @@ TEST(Checkpoint, TruncatedFileRejected) {
   EXPECT_THROW(load_checkpoint(*net, file.path), Error);
 }
 
+CheckpointMeta toy_meta() {
+  CheckpointMeta meta;
+  meta.arch = "Toy";
+  meta.width = 1;
+  meta.in_channels = 4;
+  meta.image_size = 1;
+  meta.num_classes = 3;
+  return meta;
+}
+
+TEST(Checkpoint, V2RoundTripRestoresWeightsAndMeta) {
+  Rng rng(6);
+  auto a = make_net(rng);
+  auto b = make_net(rng);
+  const TempFile file("ckpt_v2_roundtrip.bin");
+  save_checkpoint(*a, file.path, toy_meta());
+  EXPECT_EQ(checkpoint_format_version(file.path), 2U);
+  EXPECT_EQ(read_checkpoint_meta(file.path), toy_meta());
+  load_checkpoint(*b, file.path);  // same loader handles both formats
+  EXPECT_EQ(a->save_weights(), b->save_weights());
+}
+
+TEST(Checkpoint, V1FileCarriesNoMeta) {
+  Rng rng(7);
+  auto net = make_net(rng);
+  const TempFile file("ckpt_v1_nometa.bin");
+  save_checkpoint(*net, file.path);
+  EXPECT_EQ(checkpoint_format_version(file.path), 1U);
+  EXPECT_THROW((void)read_checkpoint_meta(file.path), Error);
+}
+
+TEST(Checkpoint, EmptyArchNameRejectedAtSave) {
+  Rng rng(8);
+  auto net = make_net(rng);
+  const TempFile file("ckpt_noarch.bin");
+  CheckpointMeta meta = toy_meta();
+  meta.arch.clear();
+  EXPECT_THROW(save_checkpoint(*net, file.path, meta), Error);
+}
+
+TEST(Checkpoint, DegenerateGeometryRejectedAtSave) {
+  Rng rng(9);
+  auto net = make_net(rng);
+  const TempFile file("ckpt_badgeom.bin");
+  CheckpointMeta meta = toy_meta();
+  meta.num_classes = 1;  // a classifier needs at least two classes
+  EXPECT_THROW(save_checkpoint(*net, file.path, meta), Error);
+}
+
+TEST(Checkpoint, TruncatedV2HeaderRejected) {
+  Rng rng(10);
+  auto a = make_net(rng);
+  const TempFile file("ckpt_v2_trunc.bin");
+  save_checkpoint(*a, file.path, toy_meta());
+  std::ifstream in(file.path, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // Keep the 8-byte magic plus half the arch-name length field.
+  std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+      << blob.substr(0, 10);
+  EXPECT_THROW((void)read_checkpoint_meta(file.path), Error);
+  EXPECT_THROW(load_checkpoint(*a, file.path), Error);
+}
+
+TEST(Checkpoint, V2WrongScalarCountRejected) {
+  Rng rng(11);
+  auto a = make_net(rng);
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Dense>(4, 2, rng);
+  Network small("small", std::move(body), 2);
+  const TempFile file("ckpt_v2_mismatch.bin");
+  save_checkpoint(*a, file.path, toy_meta());
+  EXPECT_THROW(load_checkpoint(small, file.path), Error);
+}
+
 TEST(Checkpoint, WrongArchitectureRejected) {
   Rng rng(5);
   auto a = make_net(rng);

@@ -90,6 +90,44 @@ TEST_F(MetricsRegistryTest, HistogramBucketsObservations) {
   EXPECT_NEAR(snap.sum, 106.0, 1e-9);
 }
 
+TEST_F(MetricsRegistryTest, LinearBucketsProduceAscendingBounds) {
+  const std::vector<double> bounds = linear_buckets(1.0, 1.0, 4);
+  EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(linear_buckets(0.0, 250.0, 3), (std::vector<double>{0.0, 250.0, 500.0}));
+}
+
+TEST_F(MetricsRegistryTest, ExponentialBucketsCoverMicrosecondScales) {
+  // The serving layer's latency histograms: 10us doubling up to ~327ms.
+  const std::vector<double> bounds = exponential_buckets(10.0, 2.0, 16);
+  ASSERT_EQ(bounds.size(), 16U);
+  EXPECT_DOUBLE_EQ(bounds.front(), 10.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10.0 * 32768.0);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST_F(MetricsRegistryTest, BucketHelpersValidateArguments) {
+  EXPECT_THROW((void)linear_buckets(0.0, 1.0, 0), InvariantError);
+  EXPECT_THROW((void)linear_buckets(0.0, 0.0, 4), InvariantError);
+  EXPECT_THROW((void)exponential_buckets(0.0, 2.0, 4), InvariantError);
+  EXPECT_THROW((void)exponential_buckets(10.0, 1.0, 4), InvariantError);
+  EXPECT_THROW((void)exponential_buckets(10.0, 2.0, 0), InvariantError);
+}
+
+TEST_F(MetricsRegistryTest, GeneratedBoundsDriveBucketEdges) {
+  // Boundary semantics with generated bounds: v <= upper_bound lands in the
+  // bucket, the first value past the last bound lands in +inf.
+  Histogram h = Registry::global().histogram("test.hist_edges",
+                                             exponential_buckets(10.0, 2.0, 3));
+  for (const double v : {10.0, 10.5, 20.0, 40.0, 40.0001}) h.observe(v);
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.upper_bounds.size(), 3U);
+  EXPECT_EQ(snap.counts[0], 1U);  // 10.0 sits exactly on the first edge
+  EXPECT_EQ(snap.counts[1], 2U);  // 10.5 and the 20.0 edge
+  EXPECT_EQ(snap.counts[2], 1U);  // 40.0 edge
+  EXPECT_EQ(snap.counts[3], 1U);  // 40.0001 overflows to +inf
+  EXPECT_EQ(snap.total, 5U);
+}
+
 TEST_F(MetricsRegistryTest, ScrapeWhileIncrementingStaysConsistent) {
   Counter c = Registry::global().counter("test.scrape_race");
   const std::uint64_t before = c.value();

@@ -1,0 +1,148 @@
+// BatchingQueue: flush rules (size vs delay), admission control, shutdown
+// drain, and the deadline-expired-requests-never-reach-a-worker contract.
+#include "serve/batching_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace tdfm::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+Tensor sample_image(float value = 1.0F) {
+  Tensor t{Shape{2}};
+  t[0] = value;
+  t[1] = -value;
+  return t;
+}
+
+constexpr auto kNoDeadline = Clock::time_point::max();
+
+TEST(BatchingQueue, TimeoutOnlyFlushUnderTrickleLoad) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 8;
+  cfg.max_queue_delay_us = 2000;
+  BatchingQueue queue(cfg);
+  auto future = queue.push(sample_image(), kNoDeadline);
+  // One pending request, far below max_batch_size: only the delay bound can
+  // flush it.
+  const auto t0 = Clock::now();
+  const std::vector<Request> batch = queue.pop_batch();
+  const auto waited = Clock::now() - t0;
+  ASSERT_EQ(batch.size(), 1U);
+  EXPECT_GE(Clock::now() - batch.front().enqueue, microseconds(2000));
+  EXPECT_LT(waited, milliseconds(500));  // flushed promptly after the bound
+  (void)future;
+}
+
+TEST(BatchingQueue, FlushOnExactMaxBatchSize) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 4;
+  cfg.max_queue_delay_us = 60'000'000;  // delay can never be the trigger here
+  BatchingQueue queue(cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(queue.push(sample_image(), kNoDeadline));
+  const std::vector<Request> batch = queue.pop_batch();
+  EXPECT_EQ(batch.size(), 4U);
+  EXPECT_EQ(queue.depth(), 0U);
+}
+
+TEST(BatchingQueue, BatchIsCappedAtMaxBatchSize) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 4;
+  cfg.max_queue_delay_us = 60'000'000;
+  cfg.max_queue_depth = 64;
+  BatchingQueue queue(cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 7; ++i) futures.push_back(queue.push(sample_image(), kNoDeadline));
+  EXPECT_EQ(queue.pop_batch().size(), 4U);
+  EXPECT_EQ(queue.depth(), 3U);
+}
+
+TEST(BatchingQueue, OverCapacityPushRejectedImmediately) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 2;
+  cfg.max_queue_delay_us = 60'000'000;
+  cfg.max_queue_depth = 2;
+  BatchingQueue queue(cfg);
+  auto a = queue.push(sample_image(), kNoDeadline);
+  auto b = queue.push(sample_image(), kNoDeadline);
+  auto rejected = queue.push(sample_image(), kNoDeadline);
+  // The rejection resolves without any worker involvement.
+  ASSERT_EQ(rejected.wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_EQ(rejected.get().status, Status::kRejectedQueueFull);
+  EXPECT_EQ(queue.rejected_capacity(), 1U);
+  EXPECT_EQ(queue.depth(), 2U);
+  queue.shutdown();
+}
+
+TEST(BatchingQueue, ShutdownDrainsPendingWithRejectionStatus) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 8;
+  cfg.max_queue_delay_us = 60'000'000;
+  BatchingQueue queue(cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(queue.push(sample_image(), kNoDeadline));
+  queue.shutdown();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().status, Status::kRejectedShutdown);
+  }
+  // Drained and terminal: pop_batch returns the worker-exit signal, and
+  // later pushes are rejected the same way.
+  EXPECT_TRUE(queue.pop_batch().empty());
+  auto late = queue.push(sample_image(), kNoDeadline);
+  EXPECT_EQ(late.get().status, Status::kRejectedShutdown);
+}
+
+TEST(BatchingQueue, ShutdownWakesBlockedPopper) {
+  BatchingConfig cfg;
+  cfg.max_queue_delay_us = 60'000'000;
+  BatchingQueue queue(cfg);
+  std::thread popper([&] { EXPECT_TRUE(queue.pop_batch().empty()); });
+  std::this_thread::sleep_for(milliseconds(20));
+  queue.shutdown();
+  popper.join();
+}
+
+TEST(BatchingQueue, ExpiredDeadlineNeverReachesAWorker) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 2;
+  cfg.max_queue_delay_us = 60'000'000;
+  BatchingQueue queue(cfg);
+  // Expires while queued (after admission, before batch formation).
+  auto doomed = queue.push(sample_image(), Clock::now() + microseconds(1));
+  std::this_thread::sleep_for(milliseconds(5));
+  auto ok1 = queue.push(sample_image(), kNoDeadline);
+  auto ok2 = queue.push(sample_image(), kNoDeadline);
+  const std::vector<Request> batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 2U);  // the expired request was dropped, not batched
+  for (const Request& req : batch) EXPECT_GT(req.deadline, Clock::now());
+  ASSERT_EQ(doomed.wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_EQ(doomed.get().status, Status::kRejectedDeadline);
+  EXPECT_EQ(queue.rejected_deadline(), 1U);
+  queue.shutdown();
+}
+
+TEST(BatchingQueue, AlreadyExpiredDeadlineRejectedAtAdmission) {
+  BatchingQueue queue(BatchingConfig{});
+  auto f = queue.push(sample_image(), Clock::now() - milliseconds(1));
+  ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().status, Status::kRejectedDeadline);
+  EXPECT_EQ(queue.depth(), 0U);
+  queue.shutdown();
+}
+
+TEST(BatchingQueue, DepthRequiresAtLeastOneFullBatch) {
+  BatchingConfig cfg;
+  cfg.max_batch_size = 16;
+  cfg.max_queue_depth = 8;
+  EXPECT_THROW(BatchingQueue{cfg}, Error);
+}
+
+}  // namespace
+}  // namespace tdfm::serve

@@ -1,0 +1,276 @@
+// InferenceEngine end-to-end: correct predictions, micro-batching under
+// burst load, admission control, and the hot-swap-under-load guarantee (no
+// request dropped, no request served by a partially-swapped model).  This
+// suite is a primary TSan target (ctest -L serve on a TDFM_SANITIZE=thread
+// build).
+#include "serve/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr std::size_t kClasses = 10;
+
+/// Tiny Dense-only factory: serving is architecture-agnostic, and a 4->10
+/// net keeps every forward microseconds-cheap even under TSan.
+nn::NetworkFactory toy_factory() {
+  return [](Rng& rng) {
+    auto body = std::make_unique<nn::Sequential>();
+    body->emplace<nn::Dense>(4, kClasses, rng);
+    return std::make_unique<nn::Network>("toy", std::move(body), kClasses);
+  };
+}
+
+/// The fitted network of version `v` — rebuilt bit-identically on demand so
+/// tests can both install it and precompute its expected predictions.
+std::unique_ptr<nn::Network> version_net(std::uint64_t v) {
+  Rng rng(1000 + v);
+  return toy_factory()(rng);
+}
+
+Tensor probe_image() {
+  Tensor t{Shape{4}};
+  t[0] = 0.3F;
+  t[1] = -1.2F;
+  t[2] = 0.7F;
+  t[3] = 2.0F;
+  return t;
+}
+
+/// What version v predicts for the probe image.
+int expected_class(std::uint64_t v) {
+  auto net = version_net(v);
+  Tensor batch{Shape{1, 4}};
+  for (std::size_t i = 0; i < 4; ++i) batch[i] = probe_image()[i];
+  return nn::predict_batch(*net, batch)[0];
+}
+
+std::uint64_t install_version(ModelRegistry& registry, const std::string& name,
+                              std::uint64_t v) {
+  std::vector<MemberInit> members;
+  members.push_back(MemberInit{toy_factory(), version_net(v)});
+  return registry.install(name, std::move(members));
+}
+
+TEST(InferenceEngine, ServesCorrectPredictions) {
+  ModelRegistry registry(/*replica_slots=*/2);
+  ASSERT_EQ(install_version(registry, "toy", 1), 1U);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.batching.max_queue_delay_us = 200;
+  InferenceEngine engine(registry, "toy", cfg);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(engine.submit(probe_image()));
+  const int want = expected_class(1);
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk) << status_name(r.status);
+    EXPECT_EQ(r.predicted_class, want);
+    EXPECT_EQ(r.model_version, 1U);
+    EXPECT_GE(r.batch_size, 1U);
+    EXPECT_GE(r.compute_us, 0.0);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 32U);
+  EXPECT_EQ(stats.served, 32U);
+  EXPECT_GE(stats.batches, 1U);
+}
+
+TEST(InferenceEngine, BurstLoadFormsMicroBatches) {
+  ModelRegistry registry(/*replica_slots=*/1);
+  install_version(registry, "toy", 1);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.batching.max_batch_size = 8;
+  cfg.batching.max_queue_delay_us = 5000;
+  InferenceEngine engine(registry, "toy", cfg);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) futures.push_back(engine.submit(probe_image()));
+  std::size_t max_batch = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    max_batch = std::max(max_batch, r.batch_size);
+    EXPECT_LE(r.batch_size, 8U);
+  }
+  // A 64-request burst against one worker must have coalesced somewhere.
+  EXPECT_GT(max_batch, 1U);
+  EXPECT_LT(engine.stats().batches, 64U);
+}
+
+TEST(InferenceEngine, SingleWorkerCanFanBatchesAcrossThePool) {
+  const std::size_t prev_threads = core::ThreadPool::global_threads();
+  core::ThreadPool::set_global_threads(2);
+  {
+    ModelRegistry registry(/*replica_slots=*/1);
+    install_version(registry, "toy", 1);
+    EngineConfig cfg;
+    cfg.workers = 1;
+    cfg.use_thread_pool = true;  // intra-batch parallelism mode
+    cfg.batching.max_batch_size = 8;
+    cfg.batching.max_queue_delay_us = 500;
+    InferenceEngine engine(registry, "toy", cfg);
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 48; ++i) futures.push_back(engine.submit(probe_image()));
+    const int want = expected_class(1);
+    for (auto& f : futures) {
+      const Response r = f.get();
+      ASSERT_EQ(r.status, Status::kOk);
+      EXPECT_EQ(r.predicted_class, want);  // bit-identical across thread counts
+    }
+  }
+  core::ThreadPool::set_global_threads(prev_threads);
+}
+
+TEST(InferenceEngine, PoolModeRequiresSingleWorker) {
+  ModelRegistry registry(/*replica_slots=*/2);
+  EngineConfig cfg;
+  cfg.workers = 2;
+  cfg.use_thread_pool = true;
+  EXPECT_THROW(InferenceEngine(registry, "toy", cfg), Error);
+}
+
+TEST(InferenceEngine, NoModelLoadedRejectsCleanly) {
+  ModelRegistry registry;
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.batching.max_queue_delay_us = 100;
+  InferenceEngine engine(registry, "ghost", cfg);
+  const Response r = engine.submit(probe_image()).get();
+  EXPECT_EQ(r.status, Status::kRejectedNoModel);
+  EXPECT_EQ(engine.stats().rejected_no_model, 1U);
+}
+
+TEST(InferenceEngine, DefaultDeadlineRejectsStaleRequests) {
+  ModelRegistry registry;
+  install_version(registry, "toy", 1);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.default_deadline_us = 1;  // effectively "already late"
+  cfg.batching.max_queue_delay_us = 5000;
+  InferenceEngine engine(registry, "toy", cfg);
+  std::this_thread::sleep_for(milliseconds(1));
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.submit(probe_image()));
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    if (f.get().status == Status::kRejectedDeadline) ++rejected;
+  }
+  EXPECT_GT(rejected, 0U);
+  EXPECT_EQ(engine.stats().rejected_deadline, rejected);
+}
+
+TEST(InferenceEngine, ShutdownResolvesEveryPendingFuture) {
+  ModelRegistry registry;
+  install_version(registry, "toy", 1);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.batching.max_queue_delay_us = 60'000'000;
+  cfg.batching.max_batch_size = 128;  // never fills: requests sit pending
+  cfg.batching.max_queue_depth = 256;
+  auto engine = std::make_unique<InferenceEngine>(registry, "toy", cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine->submit(probe_image()));
+  engine.reset();  // destructor = shutdown + join
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+    const Status s = f.get().status;
+    EXPECT_TRUE(s == Status::kOk || s == Status::kRejectedShutdown)
+        << status_name(s);
+  }
+}
+
+// The acceptance-criteria test: versions are swapped while clients hammer
+// the engine.  Every request must terminate (prediction or explicit
+// rejection), and every prediction must match what the *claimed* version
+// computes for the probe image — a batch served by a half-swapped model
+// would violate that.  Metrics stay enabled so the obs hot path is
+// exercised by the same TSan run.
+TEST(InferenceEngine, HotSwapUnderLoadDropsNothingAndNeverMixesVersions) {
+  const bool metrics_were_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+
+  constexpr std::uint64_t kVersions = 6;
+  int expected[kVersions + 1] = {};
+  for (std::uint64_t v = 1; v <= kVersions; ++v) {
+    expected[v] = expected_class(v);
+  }
+
+  ModelRegistry registry(/*replica_slots=*/3);
+  install_version(registry, "toy", 1);
+  EngineConfig cfg;
+  cfg.workers = 3;
+  cfg.batching.max_batch_size = 8;
+  cfg.batching.max_queue_delay_us = 200;
+  cfg.batching.max_queue_depth = 4096;
+  InferenceEngine engine(registry, "toy", cfg);
+
+  std::thread swapper([&] {
+    for (std::uint64_t v = 2; v <= kVersions; ++v) {
+      std::this_thread::sleep_for(milliseconds(5));
+      EXPECT_EQ(install_version(registry, "toy", v), v);
+    }
+  });
+
+  constexpr int kClients = 2;
+  constexpr int kPerClient = 400;
+  std::vector<std::vector<std::future<Response>>> futures(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kPerClient);
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[c].push_back(engine.submit(probe_image()));
+        if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  swapper.join();
+
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  for (auto& client_futures : futures) {
+    for (auto& f : client_futures) {
+      const Response r = f.get();  // every future terminates
+      if (r.status == Status::kOk) {
+        ++ok;
+        ASSERT_GE(r.model_version, 1U);
+        ASSERT_LE(r.model_version, kVersions);
+        // A fully-swapped model predicts exactly its version's class.
+        EXPECT_EQ(r.predicted_class, expected[r.model_version])
+            << "request served by a partially-swapped model (claimed v"
+            << r.model_version << ")";
+      } else {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_EQ(ok + rejected, kClients * kPerClient);  // nothing dropped
+  EXPECT_GT(ok, 0U);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.served, ok);
+
+  engine.shutdown();
+  obs::set_metrics_enabled(metrics_were_enabled);
+}
+
+}  // namespace
+}  // namespace tdfm::serve
