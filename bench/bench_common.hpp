@@ -8,8 +8,10 @@
 //   --scale F    dataset-size multiplier (1.0 = Table II at 1/45 scale)
 //   --seed S     master seed
 //   --log L      log verbosity
+//   --jobs N     concurrent campaign cells (study-backed benches)
 // plus the observability flags (core/cli.hpp): --metrics, --trace,
-// --log-timestamps, and --json for a machine-readable result file.
+// --log-timestamps, and --out (or its older alias --json) to write the
+// machine-readable result file somewhere instead of stdout.
 #pragma once
 
 #include <algorithm>
@@ -26,6 +28,7 @@
 #include "experiment/experiment.hpp"
 #include "experiment/report.hpp"
 #include "obs/obs.hpp"
+#include "study/study.hpp"
 
 namespace tdfm::bench {
 
@@ -36,7 +39,9 @@ struct BenchSettings {
   std::size_t width = 8;
   std::uint64_t seed = 42;
   std::size_t threads = 1;  ///< resolved worker-thread count (never 0)
-  std::string json_path;    ///< --json output file ("" = no file)
+  std::size_t jobs = 1;     ///< concurrent campaign cells (study benches)
+  std::string out_path;     ///< --out result file ("" = print to stdout)
+  std::string json_path;    ///< legacy --json alias for --out
 };
 
 /// Parses the common flags; returns false when --help was requested.
@@ -47,7 +52,10 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
                               int default_width = 8) {
   cli.add_flag("width", std::to_string(default_width),
                "model base channel width (paper-scale analogue: 8)");
-  cli.add_flag("json", "", "write machine-readable bench results to this file");
+  cli.add_flag("out", "", "write machine-readable bench results to this file "
+               "instead of stdout");
+  cli.add_flag("json", "", "older alias for --out");
+  cli.add_flag("jobs", "1", "concurrent campaign cells (study-backed benches)");
   add_common_bench_flags(cli, default_trials, default_epochs, default_scale);
   if (!cli.parse(argc, argv)) return false;
   settings.width = static_cast<std::size_t>(cli.get_int("width"));
@@ -55,7 +63,11 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
   settings.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   settings.scale = cli.get_double("scale");
   settings.seed = cli.get_u64("seed");
+  settings.out_path = cli.get_string("out");
   settings.json_path = cli.get_string("json");
+  const int jobs = cli.get_int("jobs");
+  TDFM_CHECK(jobs >= 0, "--jobs must be >= 0");
+  settings.jobs = static_cast<std::size_t>(jobs);
   set_log_level(parse_log_level(cli.get_string("log")));
   apply_obs_flags(cli);
   const int threads = cli.get_int("threads");
@@ -131,11 +143,10 @@ class BenchJson {
     entries_.emplace_back(key, obs::json_string(value));
   }
 
-  /// Writes the file; no-op when `path` is empty (flag not given).
-  void write(const std::string& path) const {
-    if (path.empty()) return;
-    std::ofstream out(path, std::ios::trunc);
-    TDFM_CHECK(out.good(), "cannot open --json output file: " + path);
+  /// The full result document.  All string content is escaped through the
+  /// shared obs/json.hpp helpers (add() stores pre-encoded values).
+  [[nodiscard]] std::string render() const {
+    std::ostringstream out;
     out << "{\n  \"bench\": " << obs::json_string(bench_)
         << ",\n  \"config\": {\"trials\": " << settings_.trials
         << ", \"epochs\": " << settings_.epochs
@@ -148,7 +159,29 @@ class BenchJson {
           << obs::json_string(entries_[i].first) << ": " << entries_[i].second;
     }
     out << (entries_.empty() ? "}" : "\n  }") << "\n}\n";
-    TDFM_CHECK(out.good(), "failed writing --json output file: " + path);
+    return out.str();
+  }
+
+  /// Writes the file; no-op when `path` is empty (flag not given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::trunc);
+    TDFM_CHECK(out.good(), "cannot open --out output file: " + path);
+    out << render();
+    TDFM_CHECK(out.good(), "failed writing --out output file: " + path);
+  }
+
+  /// Emits the results where the flags asked for them: `--out` wins, the
+  /// legacy `--json` alias still works, and with neither the document goes
+  /// to stdout (scripted sweeps redirect with --out).
+  void emit(const BenchSettings& s) const {
+    if (!s.out_path.empty()) {
+      write(s.out_path);
+    } else if (!s.json_path.empty()) {
+      write(s.json_path);
+    } else {
+      std::cout << render();
+    }
   }
 
  private:
@@ -174,6 +207,44 @@ inline void add_study_headlines(BenchJson& json,
       json.add(model + "." + level + "." + technique + ".ad",
                result.cells[fl][ti].ad.mean);
     }
+  }
+}
+
+/// Looks up a study preset and applies the shared bench flags on top, so the
+/// fig3/fig4/table4 benches stay thin wrappers: the grid lives in the preset,
+/// the scaling knobs live here.
+inline study::StudySpec preset_with_settings(const std::string& preset,
+                                             const BenchSettings& s) {
+  study::StudySpec spec = study::preset_spec(preset);
+  spec.trials = s.trials;
+  spec.scale = s.scale;
+  spec.model_width = s.width;
+  spec.seed = s.seed;
+  spec.train_opts.epochs = s.epochs;
+  spec.train_opts.threads = s.threads;
+  return spec;
+}
+
+/// Campaign run options from the shared bench flags (journal-less: benches
+/// print reports; use study_runner for resumable sweeps).
+inline study::RunOptions campaign_run_options(const BenchSettings& s) {
+  study::RunOptions run;
+  run.jobs = s.jobs;
+  return run;
+}
+
+/// Adds a campaign's standard headline metrics: golden accuracy per
+/// (dataset, model) panel plus the mean AD of every group.
+inline void add_campaign_headlines(BenchJson& json,
+                                   const study::CampaignSummary& summary) {
+  std::vector<std::string> seen;
+  for (const study::GroupStats& g : summary.groups) {
+    const std::string panel = g.dataset + "." + g.model;
+    if (std::find(seen.begin(), seen.end(), panel) == seen.end()) {
+      seen.push_back(panel);
+      json.add(panel + ".golden_accuracy", g.golden_accuracy.mean);
+    }
+    json.add(panel + "." + g.fault_level + "." + g.technique + ".ad", g.ad.mean);
   }
 }
 

@@ -8,6 +8,10 @@
 //     garbage out");
 //   - RL and LC above the baseline on the shallow ConvNet (soft losses
 //     inhibit shallow models).
+//
+// Thin wrapper over the `fig3-mislabelling` study preset: the grid lives in
+// src/study/presets.cpp; this binary applies the scaling flags and renders
+// the campaign summary.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) try {
@@ -24,28 +28,22 @@ int main(int argc, char** argv) try {
   }
   print_banner("E3: Fig. 3(a-d) — AD across models, GTSRB, mislabelling", s);
 
-  const std::vector<models::Arch> archs = parse_arch_list(cli.get_string("models"));
-
-  experiment::StudyConfig proto =
-      base_study(s, data::DatasetKind::kGtsrbSim, archs.front());
-  proto.fault_levels = experiment::standard_sweep(faults::FaultType::kMislabelling);
+  study::StudySpec spec = preset_with_settings("fig3-mislabelling", s);
+  spec.models = parse_arch_list(cli.get_string("models"));
 
   obs::Stopwatch watch;
-  const auto results = experiment::run_multi_model_study(proto, archs);
-  for (std::size_t a = 0; a < archs.size(); ++a) {
-    std::cout << experiment::render_ad_table(
-                     results[a], std::string("Fig. 3 panel — GTSRB-sim / ") +
-                                     models::arch_name(archs[a]) +
-                                     " / mislabelling")
-              << experiment::render_winners(results[a]) << "\n";
-  }
+  const auto result = study::run_campaign(spec, campaign_run_options(s));
+  const auto summary = study::summarize_campaign(result.records);
+  std::cout << study::render_ascii(summary);
   std::cout << "paper reference shapes: Ens & LS lowest AD; KD helps at 10% "
                "but exceeds the baseline at 30-50%; RL/LC hurt ConvNet.\n";
+  std::cout << "dataset cache: " << result.dataset_cache.hits << " hits / "
+            << result.dataset_cache.misses << " misses\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
   BenchJson json("fig3_mislabelling", s);
-  for (const auto& result : results) add_study_headlines(json, result);
+  add_campaign_headlines(json, summary);
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -5,6 +5,9 @@
 // faults), all ADs are much lower than under mislabelling (models still
 // learn with up to 50% fewer samples), and the techniques that help against
 // mislabelling also help here — except robust loss on ConvNet.
+//
+// Thin wrapper over the `fig3-removal` study preset: the grid (including
+// the LC omission) lives in src/study/presets.cpp.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) try {
@@ -21,35 +24,22 @@ int main(int argc, char** argv) try {
   }
   print_banner("E4: Fig. 3(e-h) — AD across models, GTSRB, removal", s);
 
-  const std::vector<models::Arch> archs = parse_arch_list(cli.get_string("models"));
-
-  experiment::StudyConfig proto =
-      base_study(s, data::DatasetKind::kGtsrbSim, archs.front());
-  proto.fault_levels = experiment::standard_sweep(faults::FaultType::kRemoval);
-  // The paper runs LC only for mislabelling faults (§IV-C).
-  proto.techniques = {
-      mitigation::TechniqueKind::kBaseline,
-      mitigation::TechniqueKind::kLabelSmoothing,
-      mitigation::TechniqueKind::kRobustLoss,
-      mitigation::TechniqueKind::kKnowledgeDistillation,
-      mitigation::TechniqueKind::kEnsemble,
-  };
+  study::StudySpec spec = preset_with_settings("fig3-removal", s);
+  spec.models = parse_arch_list(cli.get_string("models"));
 
   obs::Stopwatch watch;
-  const auto results = experiment::run_multi_model_study(proto, archs);
-  for (std::size_t a = 0; a < archs.size(); ++a) {
-    std::cout << experiment::render_ad_table(
-                     results[a], std::string("Fig. 3 panel — GTSRB-sim / ") +
-                                     models::arch_name(archs[a]) + " / removal")
-              << experiment::render_winners(results[a]) << "\n";
-  }
+  const auto result = study::run_campaign(spec, campaign_run_options(s));
+  const auto summary = study::summarize_campaign(result.records);
+  std::cout << study::render_ascii(summary);
   std::cout << "paper reference shapes: all ADs well below the mislabelling "
                "ADs; most techniques still at or below the baseline.\n";
+  std::cout << "dataset cache: " << result.dataset_cache.hits << " hits / "
+            << result.dataset_cache.misses << " misses\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
   BenchJson json("fig3_removal", s);
-  for (const auto& result : results) add_study_headlines(json, result);
+  add_campaign_headlines(json, summary);
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

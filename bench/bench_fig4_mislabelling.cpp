@@ -7,6 +7,8 @@
 //   - LC relatively better on few-class datasets (CIFAR, Pneumonia) and
 //     poor on 43-class GTSRB;
 //   - RL degrades at 50% mislabelling and is poor on Pneumonia throughout.
+//
+// Thin wrapper over the `fig4-mislabelling` study preset.
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) try {
@@ -22,27 +24,23 @@ int main(int argc, char** argv) try {
   }
   print_banner("E5: Fig. 4(a,c,e) — AD across datasets, mislabelling", s);
 
-  const auto model = models::arch_from_name(cli.get_string("model"));
+  study::StudySpec spec = preset_with_settings("fig4-mislabelling", s);
+  spec.models = {models::arch_from_name(cli.get_string("model"))};
+
   obs::Stopwatch watch;
-  BenchJson json("fig4_mislabelling", s);
-  for (const auto kind :
-       {data::DatasetKind::kCifar10Sim, data::DatasetKind::kGtsrbSim,
-        data::DatasetKind::kPneumoniaSim}) {
-    experiment::StudyConfig cfg = base_study(s, kind, model);
-    cfg.fault_levels = experiment::standard_sweep(faults::FaultType::kMislabelling);
-    const auto result = experiment::run_study(cfg);
-    std::cout << experiment::render_ad_table(
-                     result, std::string("Fig. 4 panel — ") + data::dataset_name(kind) +
-                                 " / " + models::arch_name(model) + " / mislabelling")
-              << experiment::render_winners(result) << "\n";
-    add_study_headlines(json, result, std::string(data::dataset_name(kind)) + ".");
-  }
+  const auto result = study::run_campaign(spec, campaign_run_options(s));
+  const auto summary = study::summarize_campaign(result.records);
+  std::cout << study::render_ascii(summary);
   std::cout << "paper reference shapes: GTSRB lowest ADs; Ens resilient "
                "everywhere, LS second; LC best at 50% on CIFAR/Pneumonia but "
                "near-worst on GTSRB; RL collapses at 50%.\n";
+  std::cout << "dataset cache: " << result.dataset_cache.hits << " hits / "
+            << result.dataset_cache.misses << " misses\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  BenchJson json("fig4_mislabelling", s);
+  add_campaign_headlines(json, summary);
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -6,6 +6,9 @@
 // duplicated samples well), robust loss shows the highest AD, and
 // knowledge distillation the second highest (the repeated data implicitly
 // shifts weight away from the teacher's distilled loss).
+//
+// Thin wrapper over the `fig4-repetition` study preset (which also encodes
+// the paper's LC omission for non-mislabelling faults, §IV-C).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) try {
@@ -21,34 +24,22 @@ int main(int argc, char** argv) try {
   }
   print_banner("E6: Fig. 4(b,d,f) — AD across datasets, repetition", s);
 
-  const auto model = models::arch_from_name(cli.get_string("model"));
+  study::StudySpec spec = preset_with_settings("fig4-repetition", s);
+  spec.models = {models::arch_from_name(cli.get_string("model"))};
+
   obs::Stopwatch watch;
-  BenchJson json("fig4_repetition", s);
-  for (const auto kind :
-       {data::DatasetKind::kCifar10Sim, data::DatasetKind::kGtsrbSim,
-        data::DatasetKind::kPneumoniaSim}) {
-    experiment::StudyConfig cfg = base_study(s, kind, model);
-    cfg.fault_levels = experiment::standard_sweep(faults::FaultType::kRepetition);
-    // LC is only run for mislabelling faults (§IV-C).
-    cfg.techniques = {
-        mitigation::TechniqueKind::kBaseline,
-        mitigation::TechniqueKind::kLabelSmoothing,
-        mitigation::TechniqueKind::kRobustLoss,
-        mitigation::TechniqueKind::kKnowledgeDistillation,
-        mitigation::TechniqueKind::kEnsemble,
-    };
-    const auto result = experiment::run_study(cfg);
-    std::cout << experiment::render_ad_table(
-                     result, std::string("Fig. 4 panel — ") + data::dataset_name(kind) +
-                                 " / " + models::arch_name(model) + " / repetition")
-              << experiment::render_winners(result) << "\n";
-    add_study_headlines(json, result, std::string(data::dataset_name(kind)) + ".");
-  }
+  const auto result = study::run_campaign(spec, campaign_run_options(s));
+  const auto summary = study::summarize_campaign(result.records);
+  std::cout << study::render_ascii(summary);
   std::cout << "paper reference shapes: repetition ADs far below mislabelling "
                "ADs; RL highest, KD second highest.\n";
+  std::cout << "dataset cache: " << result.dataset_cache.hits << " hits / "
+            << result.dataset_cache.misses << " misses\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
+  BenchJson json("fig4_repetition", s);
+  add_campaign_headlines(json, summary);
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -38,7 +38,7 @@ int main(int argc, char** argv) try {
   BenchJson json("motivating_example", s);
   add_study_headlines(json, result);
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -209,7 +209,7 @@ int main(int argc, char** argv) try {
                "training LS ~1x, KD ~1.5x, LC high, Ens highest.\n";
   std::cout << "elapsed: " << fixed(watch.elapsed_seconds(), 1) << "s\n";
   json.add("elapsed_seconds", watch.elapsed_seconds());
-  json.write(s.json_path);
+  json.emit(s);
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

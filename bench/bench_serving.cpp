@@ -259,7 +259,7 @@ int run(int argc, char** argv) {
               << " vs 1): " << fixed(speedup, 2) << "x\n";
     json.add("speedup_batched_vs_single", speedup);
   }
-  json.write(settings.json_path);
+  json.emit(settings);
   return 0;
 }
 

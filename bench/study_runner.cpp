@@ -1,0 +1,183 @@
+// study_runner — the campaign CLI over tdfm::study.
+//
+// Runs a named preset grid (or any preset with overridden axes/knobs) as a
+// resumable, parallel campaign:
+//
+//   study_runner --list-presets true
+//   study_runner --preset fig3-mislabelling --journal fig3.jsonl --jobs 4
+//   <ctrl-C mid-run>
+//   study_runner --preset fig3-mislabelling --journal fig3.jsonl --jobs 4
+//                --resume true          # completes only the remaining cells
+//   study_runner --journal fig3.jsonl --report markdown --report-only true
+//
+// Reports exclude wall-clock timings by default, so a resumed run's report
+// is byte-identical to an uninterrupted one at any --jobs value; pass
+// --timings true for the §IV-E overhead view.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <unordered_map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tdfm;
+
+/// Writes `text` to --out (or stdout when --out is empty).
+void deliver(const std::string& text, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  TDFM_CHECK(out.good(), "cannot open --out file: " + out_path);
+  out << text;
+  TDFM_CHECK(out.good(), "failed writing --out file: " + out_path);
+}
+
+std::string render_report(const study::CampaignSummary& summary,
+                          const std::string& format,
+                          const study::ReportOptions& opts) {
+  if (format == "ascii") return study::render_ascii(summary, opts);
+  if (format == "markdown") return study::render_markdown(summary, opts);
+  if (format == "csv") return study::render_csv(summary, opts);
+  if (format == "json") return study::render_json_summary(summary, opts) + "\n";
+  if (format == "none") return "";
+  throw ConfigError("unknown --report format '" + format +
+                    "' (ascii|markdown|csv|json|none)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace tdfm;
+
+  CliParser cli;
+  cli.add_flag("preset", "smoke", "campaign preset (see --list-presets true)");
+  cli.add_flag("list-presets", "false", "print the preset catalogue and exit");
+  cli.add_flag("journal", "", "JSONL journal file (enables --resume)");
+  cli.add_flag("resume", "false", "skip cells already recorded in --journal");
+  cli.add_flag("report-only", "false",
+               "do not run anything; report the --journal contents");
+  cli.add_flag("jobs", "1", "concurrent cells (0 = hardware concurrency)");
+  cli.add_flag("shuffle", "0",
+               "non-zero: run pending cells in this seed's shuffled order");
+  cli.add_flag("report", "ascii", "report format: ascii|markdown|csv|json|none");
+  cli.add_flag("timings", "false",
+               "include wall-clock columns (breaks byte-identity across runs)");
+  cli.add_flag("out", "", "write the report to this file instead of stdout");
+  // Preset overrides; the "preset" sentinel keeps the preset's value.
+  cli.add_flag("models", "preset", "override the model axis (comma-separated)");
+  cli.add_flag("datasets", "preset",
+               "override the dataset axis (comma-separated)");
+  cli.add_flag("trials", "preset", "override trials per cell");
+  cli.add_flag("epochs", "preset", "override training epochs");
+  cli.add_flag("scale", "preset", "override the dataset-size multiplier");
+  cli.add_flag("width", "preset", "override the model base channel width");
+  cli.add_flag("seed", "preset", "override the campaign master seed");
+  cli.add_flag("threads", "0",
+               "global-pool threads per cell at --jobs 1 (ignored above)");
+  cli.add_flag("log", "info", "log level: debug|info|warn|error|off");
+  add_obs_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  set_log_level(parse_log_level(cli.get_string("log")));
+  apply_obs_flags(cli);
+
+  if (cli.get_bool("list-presets")) {
+    for (const study::Preset& p : study::all_presets()) {
+      std::cout << p.name << ": " << p.description << " ("
+                << p.spec.cell_count() << " cells)\n";
+    }
+    return 0;
+  }
+
+  const std::string journal_path = cli.get_string("journal");
+  study::ReportOptions report_opts;
+  report_opts.include_timings = cli.get_bool("timings");
+  const std::string format = cli.get_string("report");
+
+  study::StudySpec spec = study::preset_spec(cli.get_string("preset"));
+  const auto overridden = [&](const std::string& flag) {
+    return cli.get_string(flag) != "preset";
+  };
+  if (overridden("models")) {
+    spec.models = bench::parse_arch_list(cli.get_string("models"));
+  }
+  if (overridden("datasets")) {
+    spec.datasets.clear();
+    const std::string list = cli.get_string("datasets");
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+      const std::size_t comma = list.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? list.size() : comma;
+      spec.datasets.push_back(data::dataset_from_name(list.substr(pos, end - pos)));
+      pos = end + 1;
+    }
+  }
+  if (overridden("trials")) {
+    spec.trials = static_cast<std::size_t>(cli.get_int("trials"));
+  }
+  if (overridden("epochs")) {
+    spec.train_opts.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  }
+  if (overridden("scale")) spec.scale = cli.get_double("scale");
+  if (overridden("width")) {
+    spec.model_width = static_cast<std::size_t>(cli.get_int("width"));
+  }
+  if (overridden("seed")) spec.seed = cli.get_u64("seed");
+  spec.train_opts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+  if (cli.get_bool("report-only")) {
+    TDFM_CHECK(!journal_path.empty(), "--report-only needs --journal");
+    auto records = study::Journal::load(journal_path);
+    // The journal is in completion order, which depends on --jobs and timing;
+    // re-rendering must not.  Order records by the preset's expansion order
+    // (foreign cell ids sort last, by id) so the report is byte-identical to
+    // the one the live run printed.
+    std::unordered_map<std::string, std::size_t> expansion_order;
+    const auto cells = study::expand_cells(spec);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      expansion_order.emplace(study::cell_id(spec, cells[i]), i);
+    }
+    const auto rank = [&](const study::CellRecord& r) {
+      const auto it = expansion_order.find(r.cell);
+      return it == expansion_order.end() ? cells.size() : it->second;
+    };
+    std::stable_sort(records.begin(), records.end(),
+                     [&](const auto& a, const auto& b) {
+                       const std::size_t ra = rank(a), rb = rank(b);
+                       return ra != rb ? ra < rb : a.cell < b.cell;
+                     });
+    const auto summary = study::summarize_campaign(records);
+    deliver(render_report(summary, format, report_opts), cli.get_string("out"));
+    return 0;
+  }
+
+  study::RunOptions run;
+  run.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  run.resume = cli.get_bool("resume");
+  run.journal_path = journal_path;
+  run.shuffle_seed = cli.get_u64("shuffle");
+
+  std::cerr << "campaign '" << spec.name << "': " << spec.cell_count()
+            << " cells, jobs=" << run.jobs
+            << (run.resume ? ", resuming from " + journal_path : "") << "\n";
+  const auto result = study::run_campaign(spec, run);
+  std::cerr << "executed " << result.executed << " cells, skipped "
+            << result.skipped << " (journaled); dataset cache "
+            << result.dataset_cache.hits << "/"
+            << result.dataset_cache.hits + result.dataset_cache.misses
+            << " hits, golden cache " << result.golden_cache.hits << "/"
+            << result.golden_cache.hits + result.golden_cache.misses
+            << " hits, shared-fit cache " << result.shared_fit_cache.hits
+            << "/" << result.shared_fit_cache.hits + result.shared_fit_cache.misses
+            << " hits; " << fixed(result.elapsed_seconds, 1) << "s\n";
+
+  const auto summary = study::summarize_campaign(result.records);
+  deliver(render_report(summary, format, report_opts), cli.get_string("out"));
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
+}

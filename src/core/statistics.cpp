@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/error.hpp"
+
 namespace tdfm {
 
 double mean_of(std::span<const double> xs) {
@@ -11,6 +13,41 @@ double mean_of(std::span<const double> xs) {
   double s = 0.0;
   for (double x : xs) s += x;
   return s / static_cast<double>(xs.size());
+}
+
+double median_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  if (sorted.size() % 2 == 1) return sorted[mid];
+  return 0.5 * (sorted[mid - 1] + sorted[mid]);
+}
+
+std::vector<double> rank_techniques(std::span<const std::vector<double>> rows) {
+  if (rows.empty()) return {};
+  const std::size_t cols = rows.front().size();
+  std::vector<double> rank_sums(cols, 0.0);
+  for (const std::vector<double>& row : rows) {
+    TDFM_CHECK(row.size() == cols, "rank_techniques rows must be equal length");
+    // Sort column indices by value; ties share the average of their ranks.
+    std::vector<std::size_t> order(cols);
+    for (std::size_t i = 0; i < cols; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&row](std::size_t a, std::size_t b) {
+      if (row[a] != row[b]) return row[a] < row[b];
+      return a < b;
+    });
+    std::size_t i = 0;
+    while (i < cols) {
+      std::size_t j = i;
+      while (j + 1 < cols && row[order[j + 1]] == row[order[i]]) ++j;
+      const double shared_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+      for (std::size_t k = i; k <= j; ++k) rank_sums[order[k]] += shared_rank;
+      i = j + 1;
+    }
+  }
+  for (double& r : rank_sums) r /= static_cast<double>(rows.size());
+  return rank_sums;
 }
 
 double t_critical_975(std::size_t dof) {

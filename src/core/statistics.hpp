@@ -51,4 +51,18 @@ struct WelchResult {
 /// Arithmetic mean; returns 0 for an empty span.
 [[nodiscard]] double mean_of(std::span<const double> xs);
 
+/// Median; the average of the two middle elements for even sizes, 0 for an
+/// empty span.  The input is not modified.
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+/// Mean rank of each column when every row is ranked ascending (rank 1 =
+/// smallest value; ties receive the average of the ranks they span).  Rows
+/// must all have the same length.  This is the aggregation behind the
+/// paper's Observations 1-3: each row is one study context (model x dataset
+/// x fault level) scored per technique, and a technique's mean rank says how
+/// consistently it beats the others across contexts.  Returns one mean rank
+/// per column; empty input yields an empty vector.
+[[nodiscard]] std::vector<double> rank_techniques(
+    std::span<const std::vector<double>> rows);
+
 }  // namespace tdfm

@@ -1,0 +1,57 @@
+#include "study/dataset_cache.hpp"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "study/spec.hpp"
+
+namespace tdfm::study {
+
+DatasetCache& DatasetCache::global() {
+  static DatasetCache cache;
+  return cache;
+}
+
+namespace {
+
+std::uint64_t dataset_key(const data::SyntheticSpec& spec) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "tdfm.dataset-key.v1|%s|%zu|%.9g|%llu",
+                data::dataset_name(spec.kind), spec.image_size, spec.scale,
+                static_cast<unsigned long long>(spec.seed));
+  return stable_hash64(buf);
+}
+
+}  // namespace
+
+std::shared_ptr<const data::TrainTestPair> DatasetCache::get(
+    const data::SyntheticSpec& spec) {
+  // Registered once, counted per lookup; visible via --metrics scrapes.
+  static obs::Counter hit_counter =
+      obs::Registry::global().counter("study.dataset_cache.hits");
+  static obs::Counter miss_counter =
+      obs::Registry::global().counter("study.dataset_cache.misses");
+
+  bool computed = false;
+  auto pair = map_.get(
+      dataset_key(spec),
+      [&spec] {
+        return std::make_shared<const data::TrainTestPair>(data::generate(spec));
+      },
+      &computed);
+  if (computed) {
+    miss_counter.add();
+  } else {
+    hit_counter.add();
+  }
+  return pair;
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  return Stats{map_.hits(), map_.misses()};
+}
+
+void DatasetCache::clear() { map_.clear(); }
+
+}  // namespace tdfm::study

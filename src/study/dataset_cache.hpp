@@ -1,0 +1,113 @@
+// Shared-dataset memoisation for campaign cells.
+//
+// Every cell of a campaign that touches the same (kind, scale, seed) dataset
+// needs the same golden generate() output; at paper scale that is hundreds
+// of cells per dataset.  The cache computes each dataset exactly once —
+// concurrent requesters block on a shared_future while the first one
+// generates — and hands out shared_ptr<const> snapshots, so cells on any
+// scheduler thread read the same immutable data.  Hits and misses are
+// counted both locally (CampaignResult) and in the obs metrics registry
+// ("study.dataset_cache.hits"/"...misses", visible with --metrics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "data/synthetic.hpp"
+
+namespace tdfm::study {
+
+/// Compute-once keyed map: get() returns the cached value or runs `make`
+/// exactly once per key, with concurrent requesters waiting on the result.
+/// A factory that throws propagates to every waiter of that attempt and the
+/// key is cleared so a later call may retry.
+template <typename V>
+class OnceMap {
+ public:
+  using Factory = std::function<V()>;
+
+  /// `computed` (optional) reports whether THIS call ran the factory — the
+  /// race-free way for callers to attribute a hit or miss to themselves.
+  [[nodiscard]] V get(std::uint64_t key, const Factory& make,
+                      bool* computed = nullptr) {
+    std::promise<V> promise;  // only used if this caller becomes the owner
+    std::shared_future<V> future;
+    bool owner = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(key);
+      if (it == map_.end()) {
+        future = promise.get_future().share();
+        map_.emplace(key, future);
+        owner = true;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        future = it->second;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (computed != nullptr) *computed = owner;
+    if (owner) {
+      try {
+        promise.set_value(make());
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+        const std::lock_guard<std::mutex> lock(mu_);
+        map_.erase(key);  // allow a retry after a failed computation
+      }
+    }
+    return future.get();
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_future<V>> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Process-wide dataset memoiser.  Campaigns (and repeated campaigns in one
+/// process, e.g. bench sweeps) share generated datasets; clear() drops them
+/// to bound memory between unrelated workloads.
+class DatasetCache {
+ public:
+  [[nodiscard]] static DatasetCache& global();
+
+  /// Returns the train/test pair for `spec`, generating it at most once per
+  /// (kind, image size, scale, seed).  Thread-safe; the returned data is
+  /// immutable and shared.
+  [[nodiscard]] std::shared_ptr<const data::TrainTestPair> get(
+      const data::SyntheticSpec& spec);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  OnceMap<std::shared_ptr<const data::TrainTestPair>> map_;
+};
+
+}  // namespace tdfm::study

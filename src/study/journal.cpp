@@ -1,0 +1,282 @@
+#include "study/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "obs/json.hpp"
+
+namespace tdfm::study {
+
+bool equal_modulo_timing(const CellRecord& a, const CellRecord& b) {
+  CellRecord ta = a;
+  CellRecord tb = b;
+  ta.train_seconds = tb.train_seconds = 0.0;
+  ta.infer_seconds = tb.infer_seconds = 0.0;
+  return ta == tb;
+}
+
+namespace {
+
+/// Round-trip-exact JSON number: a resumed record must compare equal to the
+/// in-memory original bit for bit, so the journal serialises doubles with
+/// full precision (obs::json_number's %.9g is for human-facing telemetry).
+std::string exact_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_jsonl(const CellRecord& r) {
+  std::ostringstream os;
+  os << "{\"cell\": " << obs::json_string(r.cell)
+     << ", \"dataset\": " << obs::json_string(r.dataset)
+     << ", \"model\": " << obs::json_string(r.model)
+     << ", \"fault_level\": " << obs::json_string(r.fault_level)
+     << ", \"technique\": " << obs::json_string(r.technique)
+     << ", \"trial\": " << r.trial
+     << ", \"golden_accuracy\": " << exact_number(r.golden_accuracy)
+     << ", \"faulty_accuracy\": " << exact_number(r.faulty_accuracy)
+     << ", \"ad\": " << exact_number(r.ad)
+     << ", \"reverse_ad\": " << exact_number(r.reverse_ad)
+     << ", \"naive_drop\": " << exact_number(r.naive_drop)
+     << ", \"train_seconds\": " << exact_number(r.train_seconds)
+     << ", \"infer_seconds\": " << exact_number(r.infer_seconds)
+     << ", \"inference_models\": " << exact_number(r.inference_models)
+     << ", \"shared_fit\": " << (r.shared_fit ? "true" : "false") << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Minimal parser for the flat JSON objects the journal emits: string,
+/// number, and boolean values only.  Tolerates unknown keys; rejects
+/// anything structurally off so a truncated or foreign file fails loudly.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view s) : s_(s) {}
+
+  /// Invokes on_field(key, string_value, number_value, is_string, is_bool)
+  /// for every key/value pair.
+  template <typename Fn>
+  void parse(Fn&& on_field) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (consume('}')) return;
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (!eof() && peek() == '"') {
+        on_field(key, parse_string(), 0.0, true, false);
+      } else if (!eof() && (peek() == 't' || peek() == 'f')) {
+        const bool v = consume_literal("true");
+        if (!v) {
+          if (!consume_literal("false")) fail("expected boolean");
+        }
+        on_field(key, std::string(), v ? 1.0 : 0.0, false, true);
+      } else if (consume_literal("null")) {
+        on_field(key, std::string(), 0.0, false, false);
+      } else {
+        on_field(key, std::string(), parse_number(), false, false);
+      }
+      skip_ws();
+      if (consume('}')) break;
+      expect(',');
+    }
+    skip_ws();
+    if (!eof()) fail("trailing characters after record");
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\r' ||
+                      peek() == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The journal only ever escapes control characters (< 0x20).
+          out += static_cast<char>(code & 0xFF);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool any = false;
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '-' ||
+                      peek() == '+')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) fail("expected number");
+    const std::string text(s_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(text, &used);
+      if (used != text.size()) throw std::invalid_argument(text);
+      return v;
+    } catch (const std::exception&) {
+      fail("malformed number '" + text + "'");
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("journal parse error at byte " + std::to_string(pos_) +
+                      ": " + why);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+CellRecord parse_record(std::string_view line) {
+  CellRecord r;
+  bool saw_cell = false;
+  FlatJsonParser parser(line);
+  parser.parse([&](const std::string& key, const std::string& s, double num,
+                   bool is_string, bool is_bool) {
+    if (key == "cell" && is_string) {
+      r.cell = s;
+      saw_cell = true;
+    } else if (key == "dataset" && is_string) r.dataset = s;
+    else if (key == "model" && is_string) r.model = s;
+    else if (key == "fault_level" && is_string) r.fault_level = s;
+    else if (key == "technique" && is_string) r.technique = s;
+    else if (key == "trial") r.trial = static_cast<std::size_t>(num);
+    else if (key == "golden_accuracy") r.golden_accuracy = num;
+    else if (key == "faulty_accuracy") r.faulty_accuracy = num;
+    else if (key == "ad") r.ad = num;
+    else if (key == "reverse_ad") r.reverse_ad = num;
+    else if (key == "naive_drop") r.naive_drop = num;
+    else if (key == "train_seconds") r.train_seconds = num;
+    else if (key == "infer_seconds") r.infer_seconds = num;
+    else if (key == "inference_models") r.inference_models = num;
+    else if (key == "shared_fit" && is_bool) r.shared_fit = num != 0.0;
+    // Unknown keys: ignored (forward compatibility).
+  });
+  if (!saw_cell || r.cell.empty()) {
+    throw ConfigError("journal record is missing its cell id");
+  }
+  return r;
+}
+
+std::vector<CellRecord> Journal::load(const std::string& path) {
+  std::vector<CellRecord> records;
+  std::ifstream in(path);
+  if (!in.good()) return records;  // missing file: a fresh campaign
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      records.push_back(parse_record(line));
+    } catch (const ConfigError& e) {
+      throw ConfigError("journal " + path + " line " + std::to_string(line_no) +
+                        ": " + e.what());
+    }
+  }
+  return records;
+}
+
+void Journal::adopt(std::vector<CellRecord> records) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : records) records_.push_back(std::move(r));
+}
+
+void Journal::append(CellRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+  if (!path_.empty()) persist_locked();
+}
+
+std::vector<CellRecord> Journal::records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void Journal::persist_locked() const {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    TDFM_CHECK(out.good(), "cannot open journal tmp file: " + tmp);
+    for (const CellRecord& r : records_) out << to_jsonl(r) << '\n';
+    out.flush();
+    TDFM_CHECK(out.good(), "failed writing journal tmp file: " + tmp);
+  }
+  // Atomic within a directory on POSIX: readers see the old or the new
+  // journal, never a torn one.
+  TDFM_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+             "failed renaming journal into place: " + path_);
+}
+
+}  // namespace tdfm::study

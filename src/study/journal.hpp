@@ -1,0 +1,93 @@
+// Crash-safe campaign journal: one JSONL record per completed cell.
+//
+// The journal is what makes a killed 2-hour sweep restartable: every
+// completed cell appends one self-contained JSON line, and an append
+// rewrites the whole journal to `<path>.tmp` and renames it over `<path>`.
+// rename(2) within a directory is atomic on POSIX, so the journal on disk is
+// always a prefix-consistent set of complete records — a crash can lose at
+// most the cell that was being appended, never corrupt earlier lines.
+// (Journals hold one line per grid cell — thousands at paper scale — so the
+// rewrite is microseconds, a rounding error next to a cell's training time.)
+//
+// On `--resume` the scheduler loads the journal, keeps the records whose
+// cell ids appear in the current expansion, and skips those cells.  Records
+// are self-describing (axis names, not indices), so a journal survives axis
+// reordering and still refuses records from a different grid (the content
+// hash differs).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdfm::study {
+
+/// One completed cell.  Everything the Analyzer needs, flat and
+/// self-contained; `train_seconds`/`infer_seconds` are the only fields that
+/// vary between bit-identical runs (wall-clock), which is why determinism
+/// tests compare records "modulo timing".
+struct CellRecord {
+  std::string cell;         ///< 16-hex content-hash id (spec.hpp)
+  std::string dataset;      ///< axis names, not indices — self-describing
+  std::string model;
+  std::string fault_level;
+  std::string technique;
+  std::size_t trial = 0;    ///< 1-based
+  double golden_accuracy = 0.0;
+  double faulty_accuracy = 0.0;
+  double ad = 0.0;
+  double reverse_ad = 0.0;
+  double naive_drop = 0.0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double inference_models = 1.0;
+  bool shared_fit = false;  ///< fit shared across panels (ensemble cache)
+
+  [[nodiscard]] bool operator==(const CellRecord&) const = default;
+};
+
+/// True when the records agree on everything except wall-clock timings.
+[[nodiscard]] bool equal_modulo_timing(const CellRecord& a, const CellRecord& b);
+
+/// Serialises one record as a single JSON line (no trailing newline).
+/// String fields go through obs::json_escape.
+[[nodiscard]] std::string to_jsonl(const CellRecord& record);
+
+/// Parses one journal line.  Throws ConfigError on malformed input or
+/// missing required fields; unknown keys are ignored (forward compat).
+[[nodiscard]] CellRecord parse_record(std::string_view line);
+
+/// Append-only journal bound to a file path.  Thread-safe: the scheduler's
+/// job workers append concurrently.  An empty path keeps the journal
+/// memory-only (tests, ephemeral bench runs).
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  /// Loads every record of an existing journal file; a missing file yields
+  /// an empty vector (first run).  Malformed lines throw ConfigError.
+  [[nodiscard]] static std::vector<CellRecord> load(const std::string& path);
+
+  /// Adopts already-completed records (resume) without touching the file;
+  /// the next append persists them together with the new record.
+  void adopt(std::vector<CellRecord> records);
+
+  /// Appends one record and atomically rewrites the journal file.
+  void append(CellRecord record);
+
+  /// Snapshot of all records (adopted + appended), in append order.
+  [[nodiscard]] std::vector<CellRecord> records() const;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void persist_locked() const;
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<CellRecord> records_;
+};
+
+}  // namespace tdfm::study

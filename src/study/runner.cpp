@@ -1,0 +1,350 @@
+#include "study/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "faults/fault_injector.hpp"
+#include "metrics/metrics.hpp"
+#include "mitigation/baseline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "study/dataset_cache.hpp"
+
+namespace tdfm::study {
+
+namespace {
+
+/// Golden model of one (dataset, model, trial): predictions on the test set
+/// plus its accuracy.  Shared by every (level, technique) cell of that panel.
+struct GoldenResult {
+  std::vector<int> preds;
+  double accuracy = 0.0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+};
+
+/// A technique fit shared across panels (ensembles: the member set ignores
+/// the panel model, so one fit serves every model axis entry).
+struct SharedFit {
+  std::vector<int> preds;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double inference_models = 1.0;
+};
+
+/// Per-campaign compute-once caches.  Keys are content hashes (spec.hpp), so
+/// a hit returns exactly the bytes a lone recomputation would produce.
+struct CampaignCaches {
+  OnceMap<std::shared_ptr<const GoldenResult>> golden;
+  OnceMap<std::shared_ptr<const SharedFit>> shared_fit;
+};
+
+void emit_cell_telemetry(const CellRecord& r, double accuracy, double ad) {
+  if (!obs::telemetry_enabled()) return;
+  obs::CellRecord rec;
+  rec.model = r.model;
+  rec.fault_level = r.fault_level;
+  rec.technique = r.technique;
+  rec.trial = r.trial;
+  rec.train_seconds = r.train_seconds;
+  rec.infer_seconds = r.infer_seconds;
+  rec.accuracy = accuracy;
+  rec.ad = ad;
+  obs::emit_cell(rec);
+}
+
+std::shared_ptr<const GoldenResult> golden_for(
+    const StudySpec& spec, const Cell& cell, const data::TrainTestPair& data,
+    const models::ModelConfig& model_config, const nn::TrainOptions& topts,
+    CampaignCaches& caches, bool* computed) {
+  return caches.golden.get(
+      golden_key(spec, cell),
+      [&] {
+        mitigation::BaselineTechnique technique;
+        mitigation::FitContext ctx;
+        ctx.train = &data.train;
+        ctx.primary_arch = spec.models[cell.model];
+        ctx.model_config = model_config;
+        ctx.train_opts = topts;
+        Rng rng(golden_seed(spec, cell));
+        ctx.rng = &rng;
+        obs::Span fit_span("study:golden:fit");
+        const auto classifier = technique.fit(ctx);
+        auto out = std::make_shared<GoldenResult>();
+        out->train_seconds = fit_span.stop();
+        obs::Span infer_span("study:golden:predict");
+        out->preds = classifier->predict(data.test.images);
+        out->infer_seconds = infer_span.stop();
+        out->accuracy = metrics::accuracy(out->preds, data.test.labels);
+        if (obs::telemetry_enabled()) {
+          obs::CellRecord rec;
+          rec.model = models::arch_name(spec.models[cell.model]);
+          rec.fault_level = "none";
+          rec.technique = "golden";
+          rec.trial = cell.trial + 1;
+          rec.train_seconds = out->train_seconds;
+          rec.infer_seconds = out->infer_seconds;
+          rec.accuracy = out->accuracy;
+          obs::emit_cell(rec);
+        }
+        return out;
+      },
+      computed);
+}
+
+/// Trains the technique of one cell and predicts on the test set.  For
+/// shareable fits (ensembles) the work is memoised per shared_fit_key.
+SharedFit fit_and_predict(const StudySpec& spec, const Cell& cell,
+                          const data::TrainTestPair& data,
+                          const models::ModelConfig& model_config,
+                          const nn::TrainOptions& topts, CampaignCaches& caches,
+                          bool* shared, bool* shared_computed) {
+  const auto kind = spec.techniques[cell.technique];
+  const std::string tname = mitigation::technique_name(kind);
+  const FaultLevel& level = spec.fault_levels[cell.level];
+
+  const auto run_fit = [&]() -> SharedFit {
+    auto technique = mitigation::make_technique(kind, spec.hyperparams);
+    mitigation::FitContext ctx;
+    ctx.primary_arch = spec.models[cell.model];
+    ctx.model_config = model_config;
+    ctx.train_opts = topts;
+
+    // The fit's inputs must outlive technique->fit().
+    data::Dataset faulty;
+    data::Dataset lc_clean;
+    if (technique->wants_clean_subset()) {
+      // Label correction's clean subset is reserved *before* injection
+      // (§III-B2); the remaining data receives the same fault campaign.
+      Rng split_rng(lc_split_seed(spec, cell));
+      auto [head, rest] =
+          data::random_split(data.train, spec.hyperparams.lc_gamma, split_rng);
+      lc_clean = std::move(head);
+      Rng inject_rng(lc_inject_seed(spec, cell));
+      faulty = faults::inject(rest, level, inject_rng);
+      ctx.clean_subset = &lc_clean;
+    } else {
+      Rng inject_rng(inject_seed(spec, cell));
+      faulty = faults::inject(data.train, level, inject_rng);
+    }
+    ctx.train = &faulty;
+
+    Rng fit_rng(fit_seed(spec, cell));
+    ctx.rng = &fit_rng;
+    SharedFit out;
+    obs::Span fit_span("study:fit:" + tname);
+    const auto classifier = technique->fit(ctx);
+    out.train_seconds = fit_span.stop();
+    obs::Span predict_span("study:predict:" + tname);
+    out.preds = classifier->predict(data.test.images);
+    out.infer_seconds = predict_span.stop();
+    out.inference_models = classifier->inference_model_count();
+    return out;
+  };
+
+  const std::uint64_t share_key = shared_fit_key(spec, cell);
+  if (share_key == 0) {
+    *shared = false;
+    *shared_computed = true;
+    return run_fit();
+  }
+  *shared = true;
+  auto cached = caches.shared_fit.get(
+      share_key, [&] { return std::make_shared<const SharedFit>(run_fit()); },
+      shared_computed);
+  return *cached;
+}
+
+CellRecord run_cell(const StudySpec& spec, const Cell& cell,
+                    const std::string& id, const nn::TrainOptions& topts,
+                    CampaignCaches& caches, CacheCounters& golden_counters,
+                    CacheCounters& shared_counters, std::mutex& counter_mu) {
+  static obs::Counter golden_hits =
+      obs::Registry::global().counter("study.golden_cache.hits");
+  static obs::Counter golden_misses =
+      obs::Registry::global().counter("study.golden_cache.misses");
+  static obs::Counter shared_hits =
+      obs::Registry::global().counter("study.shared_fit_cache.hits");
+  static obs::Counter shared_misses =
+      obs::Registry::global().counter("study.shared_fit_cache.misses");
+
+  const data::DatasetKind kind = spec.datasets[cell.dataset];
+  const data::SyntheticSpec dspec = dataset_spec_for(spec, kind);
+  const auto data = DatasetCache::global().get(dspec);
+  const models::ModelConfig model_config =
+      models::ModelConfig::for_dataset(dspec, spec.model_width);
+
+  bool golden_computed = false;
+  const auto golden = golden_for(spec, cell, *data, model_config, topts, caches,
+                                 &golden_computed);
+
+  bool shared = false;
+  bool fit_computed = false;
+  const SharedFit fit = fit_and_predict(spec, cell, *data, model_config, topts,
+                                        caches, &shared, &fit_computed);
+
+  {
+    const std::lock_guard<std::mutex> lock(counter_mu);
+    if (golden_computed) ++golden_counters.misses; else ++golden_counters.hits;
+    if (shared) {
+      if (fit_computed) ++shared_counters.misses; else ++shared_counters.hits;
+    }
+  }
+  if (golden_computed) golden_misses.add(); else golden_hits.add();
+  if (shared) {
+    if (fit_computed) shared_misses.add(); else shared_hits.add();
+  }
+
+  CellRecord rec;
+  rec.cell = id;
+  rec.dataset = data::dataset_name(kind);
+  rec.model = models::arch_name(spec.models[cell.model]);
+  rec.fault_level = spec.fault_level_name(cell.level);
+  rec.technique = mitigation::technique_name(spec.techniques[cell.technique]);
+  rec.trial = cell.trial + 1;
+  rec.golden_accuracy = golden->accuracy;
+  rec.faulty_accuracy = metrics::accuracy(fit.preds, data->test.labels);
+  rec.ad = metrics::accuracy_delta(golden->preds, fit.preds, data->test.labels);
+  rec.reverse_ad =
+      metrics::reverse_accuracy_delta(golden->preds, fit.preds, data->test.labels);
+  rec.naive_drop =
+      metrics::naive_accuracy_drop(golden->preds, fit.preds, data->test.labels);
+  rec.train_seconds = fit.train_seconds;
+  rec.infer_seconds = fit.infer_seconds;
+  rec.inference_models = fit.inference_models;
+  rec.shared_fit = shared;
+
+  emit_cell_telemetry(rec, rec.faulty_accuracy, rec.ad);
+  TDFM_LOG(kInfo) << "study cell " << rec.cell << " " << rec.dataset << "/"
+                  << rec.model << "/" << rec.fault_level << "/" << rec.technique
+                  << " trial " << rec.trial << ": acc " << rec.faulty_accuracy
+                  << ", AD " << rec.ad;
+  return rec;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
+  spec.validate();
+  const std::size_t jobs =
+      options.jobs == 0 ? core::ThreadPool::default_threads() : options.jobs;
+  TDFM_CHECK(!options.resume || !options.journal_path.empty(),
+             "resume requires a journal path");
+
+  obs::Span campaign_span("study:campaign:" + spec.name);
+  const std::vector<Cell> cells = expand_cells(spec);
+  std::vector<std::string> ids(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) ids[i] = cell_id(spec, cells[i]);
+
+  // Resume: adopt journaled records whose cell ids belong to this grid.
+  // Records from a different grid (edited spec) are dropped — their content
+  // hash cannot match — so the journal self-heals on the next append.
+  Journal journal(options.journal_path);
+  std::unordered_map<std::string, CellRecord> done;
+  if (options.resume) {
+    for (auto& r : Journal::load(options.journal_path)) {
+      done.emplace(r.cell, std::move(r));
+    }
+  }
+  std::vector<std::optional<CellRecord>> slots(cells.size());
+  std::vector<CellRecord> adopted;
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto it = done.find(ids[i]);
+    if (it != done.end()) {
+      slots[i] = it->second;
+      adopted.push_back(it->second);
+    } else {
+      pending.push_back(i);
+    }
+  }
+  journal.adopt(std::move(adopted));
+
+  if (options.shuffle_seed != 0) {
+    Rng shuffle_rng(options.shuffle_seed);
+    shuffle_rng.shuffle(pending);
+  }
+
+  CampaignResult result;
+  result.spec = spec;
+  result.skipped = cells.size() - pending.size();
+  const DatasetCache::Stats ds_before = DatasetCache::global().stats();
+
+  CampaignCaches caches;
+  std::mutex counter_mu;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // With jobs > 1 each worker trains inline (ThreadPool::InlineScope) and
+  // per-fit thread requests are disabled so no cell resizes the global pool
+  // under another cell's feet.  With jobs == 1 the caller's options stand.
+  const auto worker = [&](bool inline_scope) {
+    std::optional<core::ThreadPool::InlineScope> scope;
+    if (inline_scope) scope.emplace();
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= pending.size()) break;
+      const std::size_t i = pending[slot];
+      try {
+        const data::DatasetKind kind = spec.datasets[cells[i].dataset];
+        nn::TrainOptions topts = train_options_for(spec, kind);
+        if (inline_scope) topts.threads = 0;
+        CellRecord rec = run_cell(spec, cells[i], ids[i], topts, caches,
+                                  result.golden_cache, result.shared_fit_cache,
+                                  counter_mu);
+        journal.append(rec);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (options.on_cell) options.on_cell(rec);
+        slots[i] = std::move(rec);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  if (jobs <= 1 || pending.size() <= 1) {
+    worker(/*inline_scope=*/false);
+  } else {
+    std::vector<std::thread> threads;
+    const std::size_t n = std::min(jobs, pending.size());
+    threads.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      threads.emplace_back(worker, /*inline_scope=*/true);
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  result.executed = executed.load();
+  result.records.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    TDFM_CHECK(slots[i].has_value(), "campaign finished with an unrun cell");
+    result.records.push_back(std::move(*slots[i]));
+  }
+  const DatasetCache::Stats ds_after = DatasetCache::global().stats();
+  result.dataset_cache.hits = ds_after.hits - ds_before.hits;
+  result.dataset_cache.misses = ds_after.misses - ds_before.misses;
+  result.elapsed_seconds = campaign_span.stop();
+  return result;
+}
+
+}  // namespace tdfm::study

@@ -1,0 +1,74 @@
+// Campaign scheduler: resumable, parallel, order-independent cell execution.
+//
+// run_campaign expands the spec, drops every cell already present in the
+// journal (--resume), and executes the remainder on `jobs` worker threads.
+// Workers pull cells from a shared atomic cursor; because every cell's RNG
+// streams are derived from cell content (spec.hpp), the computed records are
+// bit-identical for any job count, any execution order (--shuffle), and any
+// resume point — only the wall-clock fields differ.  Each completed cell is
+// appended to the journal atomically before the next one starts, so killing
+// the process loses at most the in-flight cells.
+//
+// Sharing without coupling: cells coordinate exclusively through
+// compute-once caches (datasets, golden models, panel-shared ensemble fits)
+// keyed by content hashes, so a cache hit returns the exact bytes a lone
+// recomputation would produce.
+//
+// Threading contract: with jobs > 1 every worker runs under
+// core::ThreadPool::InlineScope (the tdfm::serve pattern) so the nested
+// training hot paths execute inline instead of contending for the global
+// pool, and per-fit thread requests are disabled.  With jobs == 1 the cells
+// run on the calling thread and may use the global pool via
+// TrainOptions::threads — parallelism *within* a cell instead of across
+// cells.  Either way the arithmetic is identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "study/journal.hpp"
+#include "study/spec.hpp"
+
+namespace tdfm::study {
+
+struct RunOptions {
+  /// Concurrent cells (scheduler worker threads); 0 = hardware concurrency.
+  std::size_t jobs = 1;
+  /// Skip cells already recorded in the journal instead of starting fresh.
+  bool resume = false;
+  /// Journal file; empty = memory-only (no persistence, no resume).
+  std::string journal_path;
+  /// Non-zero: execute pending cells in a shuffled order (determinism is
+  /// unaffected — this exists to *prove* that, and to spread cache misses).
+  std::uint64_t shuffle_seed = 0;
+  /// Optional per-completion hook; invoked from worker threads (may run
+  /// concurrently — the callee synchronises).
+  std::function<void(const CellRecord&)> on_cell;
+};
+
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+struct CampaignResult {
+  StudySpec spec;
+  /// One record per grid cell, in expansion order (resumed + executed).
+  std::vector<CellRecord> records;
+  std::size_t executed = 0;  ///< cells computed by this run
+  std::size_t skipped = 0;   ///< cells taken from the journal
+  CacheCounters dataset_cache;     ///< this run's golden-dataset reuse
+  CacheCounters golden_cache;      ///< golden-model reuse across cells
+  CacheCounters shared_fit_cache;  ///< ensemble fits shared across panels
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs (or resumes) the campaign.  Throws on the first failing cell after
+/// draining in-flight workers; completed cells remain journaled, so a rerun
+/// with resume=true continues where the failure stopped.
+[[nodiscard]] CampaignResult run_campaign(const StudySpec& spec,
+                                          const RunOptions& options = {});
+
+}  // namespace tdfm::study

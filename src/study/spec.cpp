@@ -1,0 +1,255 @@
+#include "study/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/error.hpp"
+
+namespace tdfm::study {
+
+void StudySpec::validate() const {
+  TDFM_CHECK(!datasets.empty(), "campaign needs at least one dataset");
+  TDFM_CHECK(!models.empty(), "campaign needs at least one model");
+  TDFM_CHECK(!fault_levels.empty(), "campaign needs at least one fault level");
+  TDFM_CHECK(!techniques.empty(), "campaign needs at least one technique");
+  TDFM_CHECK(trials > 0, "campaign needs at least one trial");
+  TDFM_CHECK(scale > 0.0, "dataset scale must be positive");
+  TDFM_CHECK(model_width > 0, "model width must be positive");
+  TDFM_CHECK(train_opts.epochs > 0, "training needs at least one epoch");
+}
+
+std::size_t StudySpec::cell_count() const {
+  return datasets.size() * models.size() * fault_levels.size() *
+         techniques.size() * trials;
+}
+
+std::string StudySpec::fault_level_name(std::size_t index) const {
+  TDFM_CHECK(index < fault_levels.size(), "fault level index out of range");
+  const FaultLevel& level = fault_levels[index];
+  if (level.empty()) return "none";
+  std::string out;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    if (i) out += "+";
+    out += level[i].to_string();
+  }
+  return out;
+}
+
+std::vector<Cell> expand_cells(const StudySpec& spec) {
+  spec.validate();
+  std::vector<Cell> cells;
+  cells.reserve(spec.cell_count());
+  for (std::size_t d = 0; d < spec.datasets.size(); ++d)
+    for (std::size_t m = 0; m < spec.models.size(); ++m)
+      for (std::size_t l = 0; l < spec.fault_levels.size(); ++l)
+        for (std::size_t t = 0; t < spec.techniques.size(); ++t)
+          for (std::size_t r = 0; r < spec.trials; ++r)
+            cells.push_back(Cell{d, m, l, t, r});
+  return cells;
+}
+
+std::uint64_t stable_hash64(std::string_view text) {
+  // FNV-1a 64 over the bytes, then one splitmix64 finalising round so that
+  // short, similar canonical strings still land far apart.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = h;
+  return splitmix64(state);
+}
+
+namespace {
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+/// %.9g rendering shared with the JSON emitters — scale values round-trip.
+std::string num_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string dataset_canonical(const StudySpec& spec, data::DatasetKind kind) {
+  const data::SyntheticSpec ds = dataset_spec_for(spec, kind);
+  return std::string("dataset=") + data::dataset_name(kind) +
+         ",image=" + u64_str(ds.image_size) + ",scale=" + num_str(ds.scale) +
+         ",gen_seed=" + u64_str(ds.seed);
+}
+
+std::string model_canonical(const StudySpec& spec, models::Arch arch) {
+  return std::string("model=") + models::arch_name(arch) +
+         ",width=" + u64_str(spec.model_width);
+}
+
+std::string train_canonical(const StudySpec& spec, data::DatasetKind kind) {
+  const nn::TrainOptions t = train_options_for(spec, kind);
+  return "epochs=" + u64_str(t.epochs) + ",batch=" + u64_str(t.batch_size) +
+         ",lr=" + num_str(t.lr) + ",momentum=" + num_str(t.momentum) +
+         ",wd=" + num_str(t.weight_decay) + ",lr_decay=" + num_str(t.lr_decay) +
+         ",shuffle=" + (t.shuffle ? "1" : "0") +
+         ",adam=" + (t.use_adam ? "1" : "0") +
+         ",auto_tune=" + (t.auto_tune ? "1" : "0");
+}
+
+std::string hp_canonical(const StudySpec& spec) {
+  const mitigation::Hyperparameters& hp = spec.hyperparams;
+  std::string ens = "default";
+  if (!hp.ens_members.empty()) {
+    ens.clear();
+    for (std::size_t i = 0; i < hp.ens_members.size(); ++i) {
+      if (i) ens += "+";
+      ens += models::arch_name(hp.ens_members[i]);
+    }
+  }
+  return "ls_alpha=" + num_str(hp.ls_alpha) +
+         ",ls_relax=" + (hp.ls_use_relaxation ? "1" : "0") +
+         ",lc_gamma=" + num_str(hp.lc_gamma) +
+         ",lc_hidden=" + u64_str(hp.lc_hidden) +
+         ",lc_steps=" + u64_str(hp.lc_secondary_steps) +
+         ",rl_alpha=" + num_str(hp.rl_alpha) + ",rl_beta=" + num_str(hp.rl_beta) +
+         ",kd_alpha=" + num_str(hp.kd_alpha) +
+         ",kd_temp=" + num_str(hp.kd_temperature) +
+         ",kd_epochs=" + num_str(hp.kd_student_epoch_factor) + ",ens=" + ens;
+}
+
+std::string level_canonical(const StudySpec& spec, std::size_t level) {
+  return "level=" + spec.fault_level_name(level);
+}
+
+std::string trial_canonical(std::size_t trial) {
+  return "trial=" + u64_str(trial + 1);
+}
+
+std::string seed_canonical(const StudySpec& spec) {
+  return "seed=" + u64_str(spec.seed);
+}
+
+}  // namespace
+
+std::string cell_canonical(const StudySpec& spec, const Cell& cell) {
+  const data::DatasetKind kind = spec.datasets[cell.dataset];
+  return "tdfm.cell.v1|" + dataset_canonical(spec, kind) + "|" +
+         model_canonical(spec, spec.models[cell.model]) + "|" +
+         level_canonical(spec, cell.level) + "|technique=" +
+         mitigation::technique_name(spec.techniques[cell.technique]) + "|" +
+         trial_canonical(cell.trial) + "|" + train_canonical(spec, kind) + "|" +
+         hp_canonical(spec) + "|" + seed_canonical(spec);
+}
+
+std::string cell_id(const StudySpec& spec, const Cell& cell) {
+  const std::uint64_t h = stable_hash64(cell_canonical(spec, cell));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+data::SyntheticSpec dataset_spec_for(const StudySpec& spec,
+                                     data::DatasetKind kind) {
+  data::SyntheticSpec ds;
+  ds.kind = kind;
+  ds.scale = spec.scale;
+  if (spec.tune_small_datasets && kind == data::DatasetKind::kPneumoniaSim) {
+    // Pneumonia-sim mirrors the real dataset's ~1/10 size; scaling it below
+    // full size leaves too few samples per class to train on.  It is cheap —
+    // keep it full (same rule as the bench harness).
+    ds.scale = std::max(spec.scale, 1.0);
+  }
+  // Content-derived so every cell (and every campaign sharing these fields)
+  // regenerates or cache-hits the exact same data.
+  ds.seed = stable_hash64(std::string("tdfm.dataset.v1|kind=") +
+                          data::dataset_name(kind) + ",scale=" + num_str(ds.scale) +
+                          ",seed=" + std::to_string(spec.seed));
+  return ds;
+}
+
+nn::TrainOptions train_options_for(const StudySpec& spec,
+                                   data::DatasetKind kind) {
+  nn::TrainOptions t = spec.train_opts;
+  if (spec.tune_small_datasets && kind == data::DatasetKind::kPneumoniaSim) {
+    // ~120 train images: smaller batches and proportionally more epochs so
+    // every model sees a comparable number of optimisation steps.
+    t.batch_size = 8;
+    t.epochs = spec.train_opts.epochs * 5 / 2;
+  }
+  return t;
+}
+
+namespace {
+
+std::uint64_t role_seed(const std::string& role, const std::string& canonical) {
+  return stable_hash64(role + "|" + canonical);
+}
+
+std::string golden_canonical(const StudySpec& spec, const Cell& cell) {
+  const data::DatasetKind kind = spec.datasets[cell.dataset];
+  return dataset_canonical(spec, kind) + "|" +
+         model_canonical(spec, spec.models[cell.model]) + "|" +
+         trial_canonical(cell.trial) + "|" + train_canonical(spec, kind) + "|" +
+         seed_canonical(spec);
+}
+
+std::string injection_canonical(const StudySpec& spec, const Cell& cell) {
+  const data::DatasetKind kind = spec.datasets[cell.dataset];
+  return dataset_canonical(spec, kind) + "|" + level_canonical(spec, cell.level) +
+         "|" + trial_canonical(cell.trial) + "|" + seed_canonical(spec);
+}
+
+}  // namespace
+
+std::uint64_t golden_seed(const StudySpec& spec, const Cell& cell) {
+  return role_seed("golden", golden_canonical(spec, cell));
+}
+
+std::uint64_t golden_key(const StudySpec& spec, const Cell& cell) {
+  return stable_hash64("golden-key|" + golden_canonical(spec, cell));
+}
+
+std::uint64_t inject_seed(const StudySpec& spec, const Cell& cell) {
+  return role_seed("inject", injection_canonical(spec, cell));
+}
+
+std::uint64_t lc_split_seed(const StudySpec& spec, const Cell& cell) {
+  return role_seed("lc-split", injection_canonical(spec, cell));
+}
+
+std::uint64_t lc_inject_seed(const StudySpec& spec, const Cell& cell) {
+  return role_seed("lc-inject", injection_canonical(spec, cell));
+}
+
+namespace {
+
+/// The fit identity: like the cell canonical, but ensembles replace the
+/// model axis with a fixed token (their member set ignores the panel model),
+/// making one trained ensemble shareable across every panel of the grid.
+std::string fit_canonical(const StudySpec& spec, const Cell& cell) {
+  const data::DatasetKind kind = spec.datasets[cell.dataset];
+  const bool shareable =
+      spec.techniques[cell.technique] == mitigation::TechniqueKind::kEnsemble;
+  const std::string model_part =
+      (shareable ? std::string("shared")
+                 : std::string(models::arch_name(spec.models[cell.model]))) +
+      ",width=" + std::to_string(spec.model_width);
+  return dataset_canonical(spec, kind) + "|model=" + model_part + "|" +
+         level_canonical(spec, cell.level) + "|technique=" +
+         mitigation::technique_name(spec.techniques[cell.technique]) + "|" +
+         trial_canonical(cell.trial) + "|" + train_canonical(spec, kind) + "|" +
+         hp_canonical(spec) + "|" + seed_canonical(spec);
+}
+
+}  // namespace
+
+std::uint64_t fit_seed(const StudySpec& spec, const Cell& cell) {
+  return role_seed("fit", fit_canonical(spec, cell));
+}
+
+std::uint64_t shared_fit_key(const StudySpec& spec, const Cell& cell) {
+  if (spec.techniques[cell.technique] != mitigation::TechniqueKind::kEnsemble) {
+    return 0;
+  }
+  return stable_hash64("shared-fit-key|" + fit_canonical(spec, cell));
+}
+
+}  // namespace tdfm::study

@@ -1,0 +1,31 @@
+// Umbrella header for the tdfm campaign engine:
+//   - spec.hpp           grid declaration, content-hashed cell identity,
+//                        role-scoped RNG seeds
+//   - journal.hpp        crash-safe JSONL journal (resume source of truth)
+//   - dataset_cache.hpp  compute-once dataset memoisation (OnceMap)
+//   - runner.hpp         parallel, resumable cell scheduler
+//   - analyzer.hpp       journal -> paper-style aggregates and reports
+//   - presets.hpp        named grids for the paper's figures and tables
+//
+// Quick tour (see DESIGN.md "Campaign engine"):
+//
+//   study::StudySpec spec = study::preset_spec("fig3-mislabelling");
+//   study::RunOptions run;
+//   run.jobs = 4;
+//   run.journal_path = "fig3.jsonl";
+//   run.resume = true;                       // continue a killed sweep
+//   const auto result = study::run_campaign(spec, run);
+//   const auto summary = study::summarize_campaign(result.records);
+//   std::cout << study::render_ascii(summary);
+//
+// Every cell's RNG seeds derive from the cell's content, so the records —
+// and therefore the reports — are bit-identical at any job count, any
+// execution order, and any resume point.
+#pragma once
+
+#include "study/analyzer.hpp"   // IWYU pragma: export
+#include "study/dataset_cache.hpp"  // IWYU pragma: export
+#include "study/journal.hpp"    // IWYU pragma: export
+#include "study/presets.hpp"    // IWYU pragma: export
+#include "study/runner.hpp"     // IWYU pragma: export
+#include "study/spec.hpp"       // IWYU pragma: export

@@ -5,6 +5,8 @@
 #include <array>
 #include <cmath>
 
+#include "core/error.hpp"
+
 namespace tdfm {
 namespace {
 
@@ -100,6 +102,55 @@ TEST_P(CiCoverageTest, WidthShrinksWithSampleSize) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, CiCoverageTest, ::testing::Values(4U, 8U, 20U, 64U));
+
+TEST(Statistics, MedianOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(median_of(std::array<double, 0>{}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of(std::array<double, 1>{3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of(std::array<double, 3>{9.0, 1.0, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median_of(std::array<double, 4>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Statistics, MedianDoesNotModifyInput) {
+  const std::array<double, 3> xs{3.0, 1.0, 2.0};
+  (void)median_of(xs);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(Statistics, RankTechniquesOrdersColumnsByValue) {
+  // Column 2 always smallest -> rank 1; column 0 always largest -> rank 3.
+  const std::vector<std::vector<double>> rows = {
+      {0.9, 0.5, 0.1}, {0.8, 0.4, 0.2}, {0.7, 0.6, 0.3}};
+  const std::vector<double> ranks = rank_techniques(rows);
+  ASSERT_EQ(ranks.size(), 3U);
+  EXPECT_DOUBLE_EQ(ranks[0], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+}
+
+TEST(Statistics, RankTechniquesAveragesTies) {
+  // All values tie within each row: everyone shares rank (1+2+3)/3 = 2.
+  const std::vector<std::vector<double>> rows = {{0.5, 0.5, 0.5}};
+  const std::vector<double> ranks = rank_techniques(rows);
+  ASSERT_EQ(ranks.size(), 3U);
+  for (const double r : ranks) EXPECT_DOUBLE_EQ(r, 2.0);
+}
+
+TEST(Statistics, RankTechniquesMixedRows) {
+  // Row 1 ranks: a=1, b=2, c=3; row 2 ranks: a=3, b=1.5, c=1.5 (tie).
+  const std::vector<std::vector<double>> rows = {{0.1, 0.2, 0.3},
+                                                 {0.9, 0.4, 0.4}};
+  const std::vector<double> ranks = rank_techniques(rows);
+  ASSERT_EQ(ranks.size(), 3U);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.75);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.25);
+}
+
+TEST(Statistics, RankTechniquesRejectsRaggedRows) {
+  const std::vector<std::vector<double>> rows = {{0.1, 0.2}, {0.3}};
+  EXPECT_THROW((void)rank_techniques(rows), InvariantError);
+  EXPECT_TRUE(rank_techniques({}).empty());
+}
 
 }  // namespace
 }  // namespace tdfm

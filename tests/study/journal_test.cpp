@@ -1,0 +1,132 @@
+// Journal serialisation, parsing, and crash-safe persistence
+// (src/study/journal.hpp).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../obs/json_check.hpp"
+#include "core/error.hpp"
+#include "study/journal.hpp"
+
+namespace tdfm::study {
+namespace {
+
+CellRecord sample_record() {
+  CellRecord r;
+  r.cell = "00deadbeef00cafe";
+  r.dataset = "pneumonia-sim";
+  r.model = "ConvNet";
+  r.fault_level = "mislabelling@30%";
+  r.technique = "LS";
+  r.trial = 2;
+  r.golden_accuracy = 0.75;
+  r.faulty_accuracy = 0.5;
+  r.ad = 0.25;
+  r.reverse_ad = 0.05;
+  r.naive_drop = 0.2;
+  r.train_seconds = 1.5;
+  r.infer_seconds = 0.01;
+  r.inference_models = 5.0;
+  r.shared_fit = true;
+  return r;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "tdfm_journal_" + name + ".jsonl";
+}
+
+TEST(Journal, JsonlRoundTripsEveryField) {
+  const CellRecord r = sample_record();
+  const std::string line = to_jsonl(r);
+  EXPECT_TRUE(test::JsonChecker(line).valid()) << line;
+  EXPECT_EQ(parse_record(line), r);
+}
+
+TEST(Journal, JsonlEscapesStringContent) {
+  CellRecord r = sample_record();
+  r.technique = "LS \"quoted\"\nnewline\ttab";
+  const std::string line = to_jsonl(r);
+  EXPECT_TRUE(test::JsonChecker(line).valid()) << line;
+  EXPECT_EQ(parse_record(line).technique, r.technique);
+}
+
+TEST(Journal, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_record("not json"), ConfigError);
+  EXPECT_THROW((void)parse_record("{\"cell\": \"abc\""), ConfigError);
+  EXPECT_THROW((void)parse_record("{\"cell\": \"abc\"} trailing"), ConfigError);
+  // A record without its cell id is useless for resume: reject it.
+  EXPECT_THROW((void)parse_record("{\"trial\": 1}"), ConfigError);
+  // Unknown keys are forward-compatible noise.
+  EXPECT_EQ(parse_record("{\"cell\": \"abc\", \"future_field\": 1}").cell, "abc");
+}
+
+TEST(Journal, EqualModuloTimingIgnoresOnlyWallClock) {
+  const CellRecord a = sample_record();
+  CellRecord b = a;
+  b.train_seconds = 99.0;
+  b.infer_seconds = 7.0;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(equal_modulo_timing(a, b));
+  b.ad = 0.3;
+  EXPECT_FALSE(equal_modulo_timing(a, b));
+}
+
+TEST(Journal, AppendPersistsAtomicallyAndLoadRoundTrips) {
+  const std::string path = temp_path("persist");
+  std::remove(path.c_str());
+  {
+    Journal journal(path);
+    CellRecord r = sample_record();
+    journal.append(r);
+    r.cell = "1111111111111111";
+    r.trial = 3;
+    journal.append(r);
+  }
+  // No stale tmp file is left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  const auto loaded = Journal::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], sample_record());
+  EXPECT_EQ(loaded[1].cell, "1111111111111111");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, LoadOfMissingFileIsEmpty) {
+  EXPECT_TRUE(Journal::load(temp_path("missing")).empty());
+}
+
+TEST(Journal, AdoptedRecordsSurviveTheNextAppend) {
+  const std::string path = temp_path("adopt");
+  std::remove(path.c_str());
+  Journal journal(path);
+  journal.adopt({sample_record()});
+  CellRecord fresh = sample_record();
+  fresh.cell = "2222222222222222";
+  journal.append(fresh);
+  const auto loaded = Journal::load(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], sample_record());
+  EXPECT_EQ(loaded[1], fresh);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, LoadReportsLineNumbersOnCorruption) {
+  const std::string path = temp_path("corrupt");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << to_jsonl(sample_record()) << "\n" << "garbage\n";
+  }
+  try {
+    (void)Journal::load(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tdfm::study
