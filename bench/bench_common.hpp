@@ -27,6 +27,7 @@
 #include "core/table.hpp"
 #include "experiment/experiment.hpp"
 #include "experiment/report.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/obs.hpp"
 #include "study/study.hpp"
 
@@ -42,6 +43,7 @@ struct BenchSettings {
   std::size_t jobs = 1;     ///< concurrent campaign cells (study benches)
   std::string out_path;     ///< --out result file ("" = print to stdout)
   std::string json_path;    ///< legacy --json alias for --out
+  std::string kernel;       ///< resolved GEMM kernel name (scalar/sse2/avx2)
 };
 
 /// Parses the common flags; returns false when --help was requested.
@@ -56,6 +58,9 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
                "instead of stdout");
   cli.add_flag("json", "", "older alias for --out");
   cli.add_flag("jobs", "1", "concurrent campaign cells (study-backed benches)");
+  cli.add_flag("kernel", "",
+               "GEMM kernel: scalar|sse2|avx2 (default: best supported; "
+               "same as the TDFM_KERNEL env var)");
   add_common_bench_flags(cli, default_trials, default_epochs, default_scale);
   if (!cli.parse(argc, argv)) return false;
   settings.width = static_cast<std::size_t>(cli.get_int("width"));
@@ -74,6 +79,15 @@ inline bool parse_bench_flags(int argc, char** argv, CliParser& cli,
   TDFM_CHECK(threads >= 0, "--threads must be >= 0");
   core::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
   settings.threads = core::ThreadPool::global_threads();
+  const std::string kernel_flag = cli.get_string("kernel");
+  if (!kernel_flag.empty()) {
+    const auto kind = kernels::parse_kernel(kernel_flag);
+    TDFM_CHECK(kind.has_value(),
+               "--kernel must be scalar, sse2, or avx2 (got '" + kernel_flag +
+                   "')");
+    kernels::set_active_kernel(*kind);  // throws when the host lacks it
+  }
+  settings.kernel = kernels::kernel_name(kernels::active_kernel());
   return true;
 }
 
@@ -124,7 +138,7 @@ inline void print_banner(const std::string& what, const BenchSettings& s) {
   std::cout << "=== " << what << " ===\n"
             << "settings: trials=" << s.trials << " epochs=" << s.epochs
             << " scale=" << s.scale << " seed=" << s.seed
-            << " threads=" << s.threads
+            << " threads=" << s.threads << " kernel=" << s.kernel
             << "  (paper: 20 trials, full datasets)\n\n";
 }
 
@@ -153,7 +167,9 @@ class BenchJson {
         << ", \"scale\": " << obs::json_number(settings_.scale)
         << ", \"width\": " << settings_.width
         << ", \"seed\": " << settings_.seed
-        << ", \"threads\": " << settings_.threads << "},\n  \"metrics\": {";
+        << ", \"threads\": " << settings_.threads
+        << ", \"kernel\": " << obs::json_string(settings_.kernel)
+        << "},\n  \"metrics\": {";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       out << (i == 0 ? "\n    " : ",\n    ")
           << obs::json_string(entries_[i].first) << ": " << entries_[i].second;

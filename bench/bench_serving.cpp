@@ -134,6 +134,8 @@ int run(int argc, char** argv) {
   cli.add_flag("deadline-ms", "0", "per-request deadline (0 = none)");
   cli.add_flag("checkpoint", "bench_serving.ckpt",
                "where to write the v2 model checkpoint");
+  cli.add_flag("quantize", "0",
+               "serve q8_0-quantized replicas (1) instead of fp32 (0)");
   add_loadgen_flags(cli, /*default_duration=*/2.0, /*default_rate=*/0.0,
                     /*default_warmup=*/0.25);
   if (!parse_bench_flags(argc, argv, cli, settings, /*default_trials=*/1,
@@ -150,6 +152,7 @@ int run(int argc, char** argv) {
   const auto queue_depth = static_cast<std::size_t>(cli.get_int("queue-depth"));
   const auto deadline_ms = cli.get_u64("deadline-ms");
   const std::string ckpt_path = cli.get_string("checkpoint");
+  const bool quantize = cli.get_bool("quantize");
 
   print_banner("serving layer: dynamic micro-batching under open-loop load",
                settings);
@@ -158,7 +161,7 @@ int run(int argc, char** argv) {
                                   : std::string("unthrottled (saturate)"))
             << " warmup=" << load.warmup_s << "s workers=" << workers
             << " queue-delay=" << queue_delay_us << "us depth=" << queue_depth
-            << "\n\n";
+            << " weights=" << (quantize ? "q8_0" : "fp32") << "\n\n";
 
   // 1. Quick-train a ConvNet and ship it as a self-describing checkpoint.
   data::SyntheticSpec spec;
@@ -204,6 +207,7 @@ int run(int argc, char** argv) {
 
   // 2. Sweep micro-batch configurations against the same checkpoint.
   BenchJson json("serving", settings);
+  json.add("weights", std::string(quantize ? "q8_0" : "fp32"));
   AsciiTable table({"max_batch", "throughput rps", "p50 us", "p95 us", "p99 us",
                     "served", "rejected"});
   double single_rps = 0.0;
@@ -211,7 +215,9 @@ int run(int argc, char** argv) {
   std::size_t best_batched = 0;
   for (const std::size_t max_batch : batch_sizes) {
     serve::ModelRegistry registry(workers);
-    (void)registry.load("convnet", ckpt_path);  // v2: header names the arch
+    // v2: the header names the arch; `quantize` swaps every replica's Dense
+    // and Conv2D weights for q8_0 blocks at load time.
+    (void)registry.load("convnet", ckpt_path, quantize);
     serve::EngineConfig ecfg;
     ecfg.workers = workers;
     ecfg.batching.max_batch_size = max_batch;

@@ -1,0 +1,82 @@
+// 64-byte-aligned storage for kernel operands.
+//
+// The micro-kernels issue 32-byte vector loads; keeping operand buffers on
+// 64-byte (cache-line) boundaries means a micro-tile row never straddles a
+// line and aligned-move encodings stay available to the compiler.  Plain
+// std::vector gives only alignof(std::max_align_t) (16 on this ABI), hence
+// this minimal owning buffer.  Only trivially-copyable element types are
+// supported — the kernels move raw floats and int8 blocks, nothing else.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tdfm::kernels {
+
+inline constexpr std::size_t kKernelAlignment = 64;
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer holds raw kernel operands only");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+  ~AlignedBuffer() { deallocate(); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      deallocate();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Sets the logical size, reusing the allocation when it is big enough.
+  /// Contents are NOT preserved or zeroed — callers overwrite every element
+  /// (quantize writes the zero padding explicitly).
+  void resize(std::size_t n) {
+    if (n > capacity_) {
+      deallocate();
+      data_ = static_cast<T*>(::operator new(
+          n * sizeof(T), std::align_val_t{kKernelAlignment}));
+      capacity_ = n;
+    }
+    size_ = n;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void deallocate() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kKernelAlignment});
+      data_ = nullptr;
+    }
+    size_ = capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace tdfm::kernels

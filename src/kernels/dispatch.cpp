@@ -1,0 +1,120 @@
+#include "kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "kernels/gemm_kernels.hpp"
+
+namespace tdfm::kernels {
+
+namespace {
+
+constexpr KernelTable kScalarTable{gemm_nn_rows_scalar, gemm_nt_rows_scalar,
+                                   gemm_tn_rows_scalar, gemm_q8_rows_scalar};
+// SSE2 has no efficient int8 widening (needs SSE4.1), so its q8 entry is the
+// scalar kernel — the q8 dot is exact either way, the choice is pure speed.
+constexpr KernelTable kSse2Table{gemm_nn_rows_sse2, gemm_nt_rows_sse2,
+                                 gemm_tn_rows_sse2, gemm_q8_rows_scalar};
+constexpr KernelTable kAvx2Table{gemm_nn_rows_avx2, gemm_nt_rows_avx2,
+                                 gemm_tn_rows_avx2, gemm_q8_rows_avx2};
+
+// -1 = not yet resolved.  Resolution is idempotent (env + cpuid are fixed),
+// so a racing first call is benign: both writers store the same value.
+std::atomic<int> g_active{-1};
+
+KernelKind best_supported() {
+  if (kernel_supported(KernelKind::kAvx2)) return KernelKind::kAvx2;
+  if (kernel_supported(KernelKind::kSse2)) return KernelKind::kSse2;
+  return KernelKind::kScalar;
+}
+
+KernelKind resolve_from_env() {
+  const char* env = std::getenv("TDFM_KERNEL");
+  if (env == nullptr || *env == '\0') return best_supported();
+  const auto parsed = parse_kernel(env);
+  if (!parsed.has_value()) {
+    throw std::runtime_error(std::string("TDFM_KERNEL: unknown kernel '") +
+                             env + "' (expected scalar|sse2|avx2)");
+  }
+  if (!kernel_supported(*parsed)) {
+    throw std::runtime_error(std::string("TDFM_KERNEL: kernel '") + env +
+                             "' is not supported by this CPU");
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+const char* kernel_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kSse2: return "sse2";
+    case KernelKind::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<KernelKind> parse_kernel(std::string_view name) {
+  if (name == "scalar") return KernelKind::kScalar;
+  if (name == "sse2") return KernelKind::kSse2;
+  if (name == "avx2") return KernelKind::kAvx2;
+  return std::nullopt;
+}
+
+bool kernel_supported(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelKind::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case KernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+#else
+    case KernelKind::kSse2:
+    case KernelKind::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<KernelKind> supported_kernels() {
+  std::vector<KernelKind> out{KernelKind::kScalar};
+  if (kernel_supported(KernelKind::kSse2)) out.push_back(KernelKind::kSse2);
+  if (kernel_supported(KernelKind::kAvx2)) out.push_back(KernelKind::kAvx2);
+  return out;
+}
+
+KernelKind active_kernel() {
+  int cur = g_active.load(std::memory_order_acquire);
+  if (cur < 0) {
+    cur = static_cast<int>(resolve_from_env());
+    g_active.store(cur, std::memory_order_release);
+  }
+  return static_cast<KernelKind>(cur);
+}
+
+void set_active_kernel(KernelKind kind) {
+  if (!kernel_supported(kind)) {
+    throw std::runtime_error(std::string("kernel '") + kernel_name(kind) +
+                             "' is not supported by this CPU");
+  }
+  g_active.store(static_cast<int>(kind), std::memory_order_release);
+}
+
+const KernelTable& kernel_table(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kSse2: return kSse2Table;
+    case KernelKind::kAvx2: return kAvx2Table;
+    case KernelKind::kScalar: break;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& active_table() { return kernel_table(active_kernel()); }
+
+}  // namespace tdfm::kernels

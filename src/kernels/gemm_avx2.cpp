@@ -1,0 +1,261 @@
+// AVX2+FMA micro-kernels.  This TU alone is compiled with -mavx2 -mfma (see
+// kernels/CMakeLists.txt); dispatch guarantees these symbols are only called
+// after cpuid confirms avx2+fma, so the rest of the binary still runs on
+// older hosts.
+//
+// Determinism: every output element's accumulator chain depends only on its
+// (i, j) coordinates and the shape — a row computed alone produces the same
+// bits as a row computed inside an 8-row tile, and a tail column the same
+// bits as one inside a 4-column tile — so any row partition (thread count)
+// yields identical results.  The q8 kernel keeps the scalar TU's exact
+// integer dot and float statement shape (contraction is off here too), so q8
+// output is bit-identical to scalar.
+#include "kernels/gemm_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "kernels/quant.hpp"
+
+namespace tdfm::kernels {
+
+namespace {
+
+// Mask with the first `rem` (1..7) lanes active, for maskload/maskstore
+// column tails.  Loading at table + 8 - rem yields rem leading -1 lanes.
+inline __m256i tail_mask(std::size_t rem) {
+  alignas(32) static const int table[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                            0,  0,  0,  0,  0,  0,  0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(table + 8 - rem));
+}
+
+// One R x n strip of gemm_nn: rows i0..i0+R-1, all columns, full k.  R
+// accumulator registers live across the p loop; B rows are streamed once per
+// strip and broadcast-multiplied into every row's accumulator.
+template <int R>
+void nn_tile(std::size_t i0, std::size_t n, std::size_t k, const float* a,
+             const float* b, float* c, bool accumulate) {
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r) {
+      acc[r] = accumulate ? _mm256_loadu_ps(c + (i0 + r) * n + j)
+                          : _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const __m256 bv = _mm256_loadu_ps(b + p * n + j);
+      for (int r = 0; r < R; ++r) {
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(a + (i0 + r) * k + p),
+                                 bv, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(c + (i0 + r) * n + j, acc[r]);
+    }
+  }
+  if (j < n) {
+    const __m256i mask = tail_mask(n - j);
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r) {
+      acc[r] = accumulate ? _mm256_maskload_ps(c + (i0 + r) * n + j, mask)
+                          : _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      // Masked-out lanes load as 0, accumulate 0, and are never stored.
+      const __m256 bv = _mm256_maskload_ps(b + p * n + j, mask);
+      for (int r = 0; r < R; ++r) {
+        acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(a + (i0 + r) * k + p),
+                                 bv, acc[r]);
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      _mm256_maskstore_ps(c + (i0 + r) * n + j, mask, acc[r]);
+    }
+  }
+}
+
+inline float hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// T columns of one gemm_nt row: T independent dot products sharing the A-row
+// stream.  Two accumulators per column hide FMA latency on the k loop; each
+// column's reduction shape is fixed regardless of T, so tail columns
+// (T < 4) produce the same bits as tiled ones.
+template <int T>
+void nt_cols(const float* arow, const float* b, std::size_t k, float* cout,
+             bool accumulate) {
+  __m256 acc0[T];
+  __m256 acc1[T];
+  for (int t = 0; t < T; ++t) {
+    acc0[t] = _mm256_setzero_ps();
+    acc1[t] = _mm256_setzero_ps();
+  }
+  std::size_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256 av0 = _mm256_loadu_ps(arow + p);
+    const __m256 av1 = _mm256_loadu_ps(arow + p + 8);
+    for (int t = 0; t < T; ++t) {
+      acc0[t] = _mm256_fmadd_ps(av0, _mm256_loadu_ps(b + t * k + p), acc0[t]);
+      acc1[t] = _mm256_fmadd_ps(av1,
+                                _mm256_loadu_ps(b + t * k + p + 8), acc1[t]);
+    }
+  }
+  for (; p + 8 <= k; p += 8) {
+    const __m256 av = _mm256_loadu_ps(arow + p);
+    for (int t = 0; t < T; ++t) {
+      acc0[t] = _mm256_fmadd_ps(av, _mm256_loadu_ps(b + t * k + p), acc0[t]);
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    float s = hsum256(_mm256_add_ps(acc0[t], acc1[t]));
+    for (std::size_t q = p; q < k; ++q) s += arow[q] * b[t * k + q];
+    cout[t] = accumulate ? cout[t] + s : s;
+  }
+}
+
+}  // namespace
+
+void gemm_nn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t /*m*/,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  std::size_t i = r0;
+  for (; i + 8 <= r1; i += 8) nn_tile<8>(i, n, k, a, b, c, accumulate);
+  switch (r1 - i) {
+    case 7: nn_tile<7>(i, n, k, a, b, c, accumulate); break;
+    case 6: nn_tile<6>(i, n, k, a, b, c, accumulate); break;
+    case 5: nn_tile<5>(i, n, k, a, b, c, accumulate); break;
+    case 4: nn_tile<4>(i, n, k, a, b, c, accumulate); break;
+    case 3: nn_tile<3>(i, n, k, a, b, c, accumulate); break;
+    case 2: nn_tile<2>(i, n, k, a, b, c, accumulate); break;
+    case 1: nn_tile<1>(i, n, k, a, b, c, accumulate); break;
+    default: break;
+  }
+}
+
+void gemm_nt_rows_avx2(std::size_t r0, std::size_t r1, std::size_t /*m*/,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      nt_cols<4>(arow, b + j * k, k, crow + j, accumulate);
+    }
+    switch (n - j) {
+      case 3: nt_cols<3>(arow, b + j * k, k, crow + j, accumulate); break;
+      case 2: nt_cols<2>(arow, b + j * k, k, crow + j, accumulate); break;
+      case 1: nt_cols<1>(arow, b + j * k, k, crow + j, accumulate); break;
+      default: break;
+    }
+  }
+}
+
+void gemm_tn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;  // ReLU-sparse activations skip whole rows
+      float* crow = c + i * n;
+      const __m256 avv = _mm256_set1_ps(av);
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m256 cv = _mm256_loadu_ps(crow + j);
+        _mm256_storeu_ps(crow + j,
+                         _mm256_fmadd_ps(avv, _mm256_loadu_ps(brow + j), cv));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_q8_rows_avx2(std::size_t r0, std::size_t r1, std::size_t n,
+                       std::size_t blocks, const std::int8_t* aq,
+                       const float* as, const std::int8_t* bq,
+                       const float* bs, float* c) {
+  // Same exact integer block dot as the scalar kernel: widen each 16-byte
+  // half to int16, madd pairs into int32 (|pair sum| <= 2*127*127, no
+  // overflow), reduce.  The float statements mirror gemm_q8_rows_scalar
+  // exactly, so output bits match scalar for any input.
+  const std::size_t row_codes = blocks * kQ8Block;
+  for (std::size_t i = r0; i < r1; ++i) {
+    const std::int8_t* arow = aq + i * row_codes;
+    const float* ascale = as + i * blocks;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = bq + j * row_codes;
+      const float* bscale = bs + j * blocks;
+      float acc = 0.0F;
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        const std::int8_t* pa = arow + blk * kQ8Block;
+        const std::int8_t* pb = brow + blk * kQ8Block;
+        const __m256i a0 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa)));
+        const __m256i a1 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + 16)));
+        const __m256i b0 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb)));
+        const __m256i b1 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + 16)));
+        const __m256i sum = _mm256_add_epi32(_mm256_madd_epi16(a0, b0),
+                                             _mm256_madd_epi16(a1, b1));
+        __m128i s = _mm_add_epi32(_mm256_castsi256_si128(sum),
+                                  _mm256_extracti128_si256(sum, 1));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+        s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+        const std::int32_t dot = _mm_cvtsi128_si32(s);
+        float contrib = ascale[blk] * bscale[blk];
+        contrib *= static_cast<float>(dot);
+        acc += contrib;
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace tdfm::kernels
+
+#else  // non-x86: forward to the scalar kernels (cpuid reports unsupported)
+
+namespace tdfm::kernels {
+
+void gemm_nn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_nn_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+void gemm_nt_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_nt_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+void gemm_tn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_tn_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+void gemm_q8_rows_avx2(std::size_t r0, std::size_t r1, std::size_t n,
+                       std::size_t blocks, const std::int8_t* aq,
+                       const float* as, const std::int8_t* bq,
+                       const float* bs, float* c) {
+  gemm_q8_rows_scalar(r0, r1, n, blocks, aq, as, bq, bs, c);
+}
+
+}  // namespace tdfm::kernels
+
+#endif

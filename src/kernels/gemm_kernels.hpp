@@ -1,0 +1,52 @@
+// Internal: per-instruction-set row-kernel entry points.
+//
+// One symbol set per TU (gemm_scalar.cpp / gemm_sse2.cpp / gemm_avx2.cpp) so
+// each can carry its own compile flags; dispatch.cpp assembles them into the
+// public KernelTables.  On non-x86 targets the sse2/avx2 TUs compile as
+// forwarders to the scalar kernels (and cpuid reports them unsupported).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tdfm::kernels {
+
+void gemm_nn_rows_scalar(std::size_t r0, std::size_t r1, std::size_t m,
+                         std::size_t n, std::size_t k, const float* a,
+                         const float* b, float* c, bool accumulate);
+void gemm_nt_rows_scalar(std::size_t r0, std::size_t r1, std::size_t m,
+                         std::size_t n, std::size_t k, const float* a,
+                         const float* b, float* c, bool accumulate);
+void gemm_tn_rows_scalar(std::size_t r0, std::size_t r1, std::size_t m,
+                         std::size_t n, std::size_t k, const float* a,
+                         const float* b, float* c, bool accumulate);
+void gemm_q8_rows_scalar(std::size_t r0, std::size_t r1, std::size_t n,
+                         std::size_t blocks, const std::int8_t* aq,
+                         const float* as, const std::int8_t* bq,
+                         const float* bs, float* c);
+
+void gemm_nn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+void gemm_nt_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+void gemm_tn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+
+void gemm_nn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+void gemm_nt_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+void gemm_tn_rows_avx2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate);
+void gemm_q8_rows_avx2(std::size_t r0, std::size_t r1, std::size_t n,
+                       std::size_t blocks, const std::int8_t* aq,
+                       const float* as, const std::int8_t* bq,
+                       const float* bs, float* c);
+
+}  // namespace tdfm::kernels

@@ -1,0 +1,114 @@
+// SSE2 kernels: 128-bit mul+add loops with scalar tails.  This is the x86-64
+// baseline fallback, not the performance target — the loops stay simple.  No
+// FMA is used, and the TU is compiled with contraction off, so products and
+// additions round separately (same statement-level semantics as scalar; the
+// 4-lane reduction in nt still reorders additions, which the checker bounds).
+//
+// The q8 table entry for sse2 points at the scalar q8 kernel (dispatch.cpp):
+// efficient int8 widening needs SSE4.1, and the scalar integer dot is exact
+// anyway, so there is nothing to gain below AVX2.
+#include "kernels/gemm_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+namespace tdfm::kernels {
+
+void gemm_nn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t /*m*/,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* __restrict__ arow = a + i * k;
+    float* __restrict__ crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      const float* __restrict__ brow = b + p * n;
+      const __m128 avv = _mm_set1_ps(av);
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m128 bv = _mm_loadu_ps(brow + j);
+        const __m128 cv = _mm_loadu_ps(crow + j);
+        _mm_storeu_ps(crow + j, _mm_add_ps(cv, _mm_mul_ps(avv, bv)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_nt_rows_sse2(std::size_t r0, std::size_t r1, std::size_t /*m*/,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* __restrict__ arow = a + i * k;
+    float* __restrict__ crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* __restrict__ brow = b + j * k;
+      __m128 accv = _mm_setzero_ps();
+      std::size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const __m128 av = _mm_loadu_ps(arow + p);
+        const __m128 bv = _mm_loadu_ps(brow + p);
+        accv = _mm_add_ps(accv, _mm_mul_ps(av, bv));
+      }
+      // Horizontal sum of the 4 lanes: (0+2, 1+3), then +shuffled.
+      __m128 s = _mm_add_ps(accv, _mm_movehl_ps(accv, accv));
+      s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+      float acc = _mm_cvtss_f32(s);
+      for (; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  }
+}
+
+void gemm_tn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict__ arow = a + p * m;
+    const float* __restrict__ brow = b + p * n;
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;  // ReLU-sparse activations skip whole rows
+      float* __restrict__ crow = c + i * n;
+      const __m128 avv = _mm_set1_ps(av);
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m128 bv = _mm_loadu_ps(brow + j);
+        const __m128 cv = _mm_loadu_ps(crow + j);
+        _mm_storeu_ps(crow + j, _mm_add_ps(cv, _mm_mul_ps(avv, bv)));
+      }
+      for (; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace tdfm::kernels
+
+#else  // non-x86: forward to the scalar kernels (cpuid reports unsupported)
+
+namespace tdfm::kernels {
+
+void gemm_nn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_nn_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+void gemm_nt_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_nt_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+void gemm_tn_rows_sse2(std::size_t r0, std::size_t r1, std::size_t m,
+                       std::size_t n, std::size_t k, const float* a,
+                       const float* b, float* c, bool accumulate) {
+  gemm_tn_rows_scalar(r0, r1, m, n, k, a, b, c, accumulate);
+}
+
+}  // namespace tdfm::kernels
+
+#endif

@@ -1,0 +1,89 @@
+// Runtime-dispatched compute kernels.
+//
+// tdfm::kernels is a leaf library (no tdfm dependencies) holding the
+// hand-vectorized inner loops behind tensor/gemm.hpp and tensor/qgemm.hpp.
+// One implementation table exists per instruction set:
+//
+//   scalar  the reference: plain loops, vectorization and FP contraction
+//           disabled at compile time, so its arithmetic is the canonical
+//           mul-then-add semantics every other kernel is checked against
+//   sse2    128-bit mul+add loops (x86-64 baseline, no FMA)
+//   avx2    256-bit FMA micro-kernels, register-blocked 8xN tiles
+//
+// The active table is picked once, lazily: the TDFM_KERNEL env var
+// (scalar|sse2|avx2) wins, otherwise cpuid chooses the best supported set.
+// set_active_kernel() overrides it at runtime (bench --kernel A/B runs).
+//
+// Every kernel computes a *row range* [r0, r1) of the output so the caller
+// (tensor/gemm.cpp) owns threading and FLOP accounting.  Determinism
+// contract: within one kernel choice, each output element's operation
+// sequence depends only on (element, shape) — never on the row partition —
+// so results are bit-identical at any thread count.  Across kernel choices
+// results differ (FMA vs mul+add, reduction shape); the checker suite
+// (tests/kernels) quantifies those differences instead of assuming them
+// away.  The q8 kernel is the exception: its per-block integer dot is exact
+// and its float accumulation order is fixed, so q8 results are bit-identical
+// across *all* kernel choices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace tdfm::kernels {
+
+enum class KernelKind : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Computes rows [r0, r1) of C for one GEMM variant (nn/nt/tn as defined in
+/// tensor/gemm.hpp).  `m` is the full row count (gemm_tn reads A with stride
+/// m); `accumulate=false` overwrites the row range.
+using GemmRowsFn = void (*)(std::size_t r0, std::size_t r1, std::size_t m,
+                            std::size_t n, std::size_t k, const float* a,
+                            const float* b, float* c, bool accumulate);
+
+/// Computes rows [r0, r1) of C[m x n] where C[i,j] is the q8_0 block dot of
+/// A row i against B row j: both operands hold `blocks` 32-element int8
+/// blocks per row (tail-padded with zeros) with per-block fp32 scales.
+using GemmQ8RowsFn = void (*)(std::size_t r0, std::size_t r1, std::size_t n,
+                              std::size_t blocks, const std::int8_t* aq,
+                              const float* as, const std::int8_t* bq,
+                              const float* bs, float* c);
+
+struct KernelTable {
+  GemmRowsFn nn;
+  GemmRowsFn nt;
+  GemmRowsFn tn;
+  GemmQ8RowsFn q8_nt;
+};
+
+/// "scalar", "sse2", "avx2".
+[[nodiscard]] const char* kernel_name(KernelKind kind);
+
+/// Inverse of kernel_name; nullopt for unknown names.
+[[nodiscard]] std::optional<KernelKind> parse_kernel(std::string_view name);
+
+/// Whether this host's CPU can run `kind` (cpuid; scalar is always true).
+[[nodiscard]] bool kernel_supported(KernelKind kind);
+
+/// All host-supported kinds, scalar first (checker iteration order).
+[[nodiscard]] std::vector<KernelKind> supported_kernels();
+
+/// The kernel every dispatching call site currently uses.  First call
+/// resolves TDFM_KERNEL (throws std::runtime_error on an unknown or
+/// unsupported value) and falls back to the best cpuid-supported set.
+[[nodiscard]] KernelKind active_kernel();
+
+/// Overrides the active kernel.  Throws std::runtime_error when the host
+/// does not support `kind`.
+void set_active_kernel(KernelKind kind);
+
+/// Implementation table for one kind (valid even when unsupported — used by
+/// the checker on hosts that can run it).
+[[nodiscard]] const KernelTable& kernel_table(KernelKind kind);
+
+/// Shorthand for kernel_table(active_kernel()).
+[[nodiscard]] const KernelTable& active_table();
+
+}  // namespace tdfm::kernels

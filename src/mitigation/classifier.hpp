@@ -20,6 +20,12 @@ class Classifier {
   /// Number of model evaluations per inference (1 for single models, n for
   /// ensembles) — the inference-overhead factor of §IV-E.
   [[nodiscard]] virtual double inference_model_count() const { return 1.0; }
+
+  /// Converts the underlying model(s) to q8_0 inference form (irreversible,
+  /// forward-only afterwards).  Returns false when the technique's deployed
+  /// artifact has no weights to quantize (e.g. a bare fp32 wrapper without a
+  /// network); callers then keep the fp32 predictions.
+  virtual bool quantize_for_inference() { return false; }
 };
 
 /// Wraps one trained network.
@@ -32,6 +38,11 @@ class SingleModelClassifier final : public Classifier {
 
   std::vector<int> predict(const Tensor& images) override {
     return nn::predict_classes(*net_, images);
+  }
+
+  bool quantize_for_inference() override {
+    net_->quantize_for_inference();
+    return true;
   }
 
   [[nodiscard]] nn::Network& network() { return *net_; }

@@ -26,6 +26,11 @@ class EnsembleClassifier final : public Classifier {
     return static_cast<double>(members_.size());
   }
 
+  bool quantize_for_inference() override {
+    for (auto& m : members_) m->quantize_for_inference();
+    return true;
+  }
+
   [[nodiscard]] std::size_t size() const { return members_.size(); }
   [[nodiscard]] nn::Network& member(std::size_t i) { return *members_.at(i); }
 

@@ -60,6 +60,11 @@ std::vector<Parameter*> ResidualBasicBlock::parameters() {
   return ps;
 }
 
+void ResidualBasicBlock::quantize_for_inference() {
+  main_.quantize_for_inference();
+  if (projection_) projection_->quantize_for_inference();
+}
+
 std::string ResidualBasicBlock::name() const { return "ResidualBasicBlock"; }
 
 std::size_t ResidualBasicBlock::weight_layer_count() const {
@@ -111,6 +116,11 @@ std::vector<Parameter*> BottleneckBlock::parameters() {
     for (auto* p : projection_->parameters()) ps.push_back(p);
   }
   return ps;
+}
+
+void BottleneckBlock::quantize_for_inference() {
+  main_.quantize_for_inference();
+  if (projection_) projection_->quantize_for_inference();
 }
 
 std::string BottleneckBlock::name() const { return "BottleneckBlock"; }

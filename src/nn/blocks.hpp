@@ -26,6 +26,7 @@ class ResidualBasicBlock final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void quantize_for_inference() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override;
 
@@ -45,6 +46,7 @@ class BottleneckBlock final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  void quantize_for_inference() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override;
 
@@ -68,6 +70,7 @@ class SeparableConvBlock final : public Layer {
     return body_.backward(grad_output);
   }
   std::vector<Parameter*> parameters() override { return body_.parameters(); }
+  void quantize_for_inference() override { body_.quantize_for_inference(); }
   [[nodiscard]] std::string name() const override { return "SeparableConvBlock"; }
   [[nodiscard]] std::size_t weight_layer_count() const override {
     return body_.weight_layer_count();

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace tdfm::nn {
 
@@ -59,7 +60,6 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   TDFM_CHECK(input.rank() == 4 && input.dim(1) == geom_.in_c &&
                  input.dim(2) == geom_.in_h && input.dim(3) == geom_.in_w,
              "Conv2D input shape mismatch");
-  cached_input_ = input;
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
@@ -69,6 +69,29 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   const std::size_t in_stride = geom_.in_c * geom_.in_h * geom_.in_w;
   const std::size_t out_stride = out_c_ * oh * ow;
   count_conv(batch, 2 * out_c_ * pr * pc);
+  if (quantized_) {
+    // int8 path: unroll each image to one row per output pixel (tap order
+    // matching the weight rows), quantize those rows, and block-dot weight
+    // rows against patch rows — C[out_c, pc] lands directly in the output
+    // plane, no transpose.  Scratch is chunk-local; the nested parallel_for
+    // inside gemm_q8_nt runs inline on pool workers.
+    core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
+      std::vector<float> rows(pc * pr);
+      kernels::Q8Matrix qrows;
+      for (std::size_t b = b0; b < b1; ++b) {
+        im2row(geom_, input.data() + b * in_stride, rows.data());
+        kernels::quantize_rows_q8(rows.data(), pc, pr, qrows);
+        gemm_q8_nt(qweight_, qrows, out.data() + b * out_stride);
+        for (std::size_t oc = 0; oc < out_c_; ++oc) {
+          float* plane = out.data() + b * out_stride + oc * oh * ow;
+          const float bv = bias_.value[oc];
+          for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bv;
+        }
+      }
+    });
+    return out;
+  }
+  cached_input_ = input;
   core::parallel_for(0, batch, batch_grain(batch), [&](std::size_t b0, std::size_t b1) {
     std::vector<float> columns(pr * pc);  // chunk-local patch matrix
     for (std::size_t b = b0; b < b1; ++b) {
@@ -87,6 +110,7 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {
+  TDFM_CHECK(!quantized_, "Conv2D: backward on a quantized (forward-only) layer");
   const std::size_t batch = cached_input_.dim(0);
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
@@ -138,6 +162,18 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   return grad_input;
 }
 
+void Conv2D::quantize_for_inference() {
+  if (quantized_) return;
+  kernels::quantize_rows_q8(weight_.value.data(), out_c_, geom_.patch_rows(),
+                            qweight_);
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  grad_scratch_.clear();
+  grad_scratch_.shrink_to_fit();
+  quantized_ = true;
+}
+
 std::string Conv2D::name() const {
   return "Conv2D(" + std::to_string(geom_.in_c) + "->" + std::to_string(out_c_) +
          ", k" + std::to_string(geom_.kernel) + " s" + std::to_string(geom_.stride) +
@@ -158,7 +194,10 @@ Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*training*/) {
   TDFM_CHECK(input.rank() == 4 && input.dim(1) == channels_ &&
                  input.dim(2) == geom_.in_h && input.dim(3) == geom_.in_w,
              "DepthwiseConv2D input shape mismatch");
-  cached_input_ = input;
+  // Quantized mode is fake-quant (weights already rounded through q8_0 at
+  // quantize time), so the same fp32 loop serves both paths; only the
+  // activation cache for backward is skipped.
+  if (!quantized_) cached_input_ = input;
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
@@ -171,7 +210,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*training*/) {
     std::vector<float> columns(pr * pc);
     for (std::size_t b = b0; b < b1; ++b) {
       for (std::size_t c = 0; c < channels_; ++c) {
-        const float* src = cached_input_.data() + (b * channels_ + c) * plane_in;
+        const float* src = input.data() + (b * channels_ + c) * plane_in;
         im2col(geom_, src, columns.data());
         float* dst = out.data() + (b * channels_ + c) * pc;
         // 1 x pc row = filter[1, k*k] * columns[k*k, pc]
@@ -185,6 +224,8 @@ Tensor DepthwiseConv2D::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor DepthwiseConv2D::backward(const Tensor& grad_output) {
+  TDFM_CHECK(!quantized_,
+             "DepthwiseConv2D: backward on a quantized (forward-only) layer");
   const std::size_t batch = cached_input_.dim(0);
   const std::size_t oh = geom_.out_h();
   const std::size_t ow = geom_.out_w();
@@ -231,6 +272,21 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_output) {
     for (std::size_t c = 0; c < channels_; ++c) bias_.grad[c] += db[c];
   }
   return grad_input;
+}
+
+void DepthwiseConv2D::quantize_for_inference() {
+  if (quantized_) return;
+  // Round-trip the filters through q8_0 so accuracy reflects int8 weights;
+  // keep them fp32 (each k x k filter is smaller than one q8 block, so real
+  // int8 storage would not shrink anything).
+  const std::size_t pr = geom_.patch_rows();
+  const auto q = kernels::quantize_rows_q8(weight_.value.data(), channels_, pr);
+  kernels::dequantize_rows_q8(q, weight_.value.data());
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  grad_scratch_.clear();
+  grad_scratch_.shrink_to_fit();
+  quantized_ = true;
 }
 
 std::string DepthwiseConv2D::name() const {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/rng.hpp"
+#include "kernels/quant.hpp"
 #include "nn/layer.hpp"
 #include "tensor/im2col.hpp"
 
@@ -17,6 +18,9 @@ class Conv2D final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  /// Quantizes the [out_c, C*k*k] weight rows to q8_0; forward then runs
+  /// im2row + quantize + int8 matmul per image.  Forward-only afterwards.
+  void quantize_for_inference() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
 
@@ -32,6 +36,8 @@ class Conv2D final : public Layer {
   /// Per-image dW/db contributions [B, out_c*pr + out_c], filled in parallel
   /// and reduced in image order so gradients are thread-count-invariant.
   std::vector<float> grad_scratch_;
+  bool quantized_ = false;
+  kernels::Q8Matrix qweight_;  ///< [out_c, C*k*k] q8_0 rows
 };
 
 /// Depthwise convolution (MobileNet): each input channel is convolved with
@@ -44,6 +50,11 @@ class DepthwiseConv2D final : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  /// Fake-quantizes: weights are rounded through q8_0 and kept fp32 (a k x k
+  /// filter spans under one 32-element block, so int8 storage saves nothing;
+  /// the rounding still makes accuracy reflect int8 deployment).  The layer
+  /// becomes forward-only like the rest of a quantized network.
+  void quantize_for_inference() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
 
@@ -55,6 +66,7 @@ class DepthwiseConv2D final : public Layer {
   Tensor cached_input_;
   /// Per-image dW/db contributions [B, channels*k*k + channels]; see Conv2D.
   std::vector<float> grad_scratch_;
+  bool quantized_ = false;
 };
 
 }  // namespace tdfm::nn

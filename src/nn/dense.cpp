@@ -2,6 +2,7 @@
 
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace tdfm::nn {
 
@@ -18,11 +19,19 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
 Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   TDFM_CHECK(input.rank() == 2 && input.dim(1) == in_,
              "Dense input must be [B, in_features]");
-  cached_input_ = input;
   const std::size_t batch = input.dim(0);
   Tensor out(Shape{batch, out_});
-  // out[B, out] = input[B, in] * W[out, in]^T
-  gemm_nt(batch, out_, in_, input.data(), weight_.value.data(), out.data());
+  if (quantized_) {
+    // int8 path: quantize the activations row-wise into the layer-local
+    // scratch (safe: one in-flight batch per layer), then block-dot against
+    // the quantized weight rows.  No activation cache — backward is gone.
+    kernels::quantize_rows_q8(input.data(), batch, in_, qinput_);
+    gemm_q8_nt(qinput_, qweight_, out.data());
+  } else {
+    cached_input_ = input;
+    // out[B, out] = input[B, in] * W[out, in]^T
+    gemm_nt(batch, out_, in_, input.data(), weight_.value.data(), out.data());
+  }
   for (std::size_t b = 0; b < batch; ++b) {
     float* row = out.data() + b * out_;
     const float* bias = bias_.value.data();
@@ -32,6 +41,7 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
+  TDFM_CHECK(!quantized_, "Dense: backward on a quantized (forward-only) layer");
   const std::size_t batch = cached_input_.dim(0);
   TDFM_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
                  grad_output.dim(1) == out_,
@@ -50,6 +60,15 @@ Tensor Dense::backward(const Tensor& grad_output) {
   gemm_nn(batch, in_, out_, grad_output.data(), weight_.value.data(),
           grad_input.data());
   return grad_input;
+}
+
+void Dense::quantize_for_inference() {
+  if (quantized_) return;
+  kernels::quantize_rows_q8(weight_.value.data(), out_, in_, qweight_);
+  weight_.value = Tensor();
+  weight_.grad = Tensor();
+  cached_input_ = Tensor();
+  quantized_ = true;
 }
 
 std::string Dense::name() const {

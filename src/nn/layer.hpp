@@ -50,6 +50,13 @@ class Layer {
   /// Trainable parameters (empty for stateless layers).  Non-owning.
   virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Converts this layer's weights to the q8_0 inference format
+  /// (kernels/quant.hpp), releasing the fp32 masters and gradients.  The
+  /// layer becomes forward-only: backward() throws, parameter_count()
+  /// reflects the freed storage.  Irreversible; default is a no-op for
+  /// layers with nothing to quantize.
+  virtual void quantize_for_inference() {}
+
   /// Human-readable layer name for summaries, e.g. "Conv2D(8->16, k3 s1 p1)".
   [[nodiscard]] virtual std::string name() const = 0;
 

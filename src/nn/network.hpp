@@ -46,6 +46,15 @@ class Network {
     return body_->weight_layer_count();
   }
 
+  /// Converts every layer to the q8_0 inference format (see
+  /// Layer::quantize_for_inference).  Irreversible: the network becomes
+  /// forward-only and save_weights()/copy_weights_from() no longer apply.
+  void quantize_for_inference() {
+    body_->quantize_for_inference();
+    quantized_ = true;
+  }
+  [[nodiscard]] bool quantized() const { return quantized_; }
+
   /// Copies all parameter values from another structurally identical
   /// network (same factory, same seed discipline).  Used by knowledge
   /// distillation to snapshot the teacher.
@@ -61,6 +70,7 @@ class Network {
   std::string name_;
   std::unique_ptr<Sequential> body_;
   std::size_t num_classes_;
+  bool quantized_ = false;
 };
 
 /// Builds a fresh, randomly initialised network.  The factory pattern lets

@@ -69,6 +69,10 @@ class Sequential : public Layer {
     return ps;
   }
 
+  void quantize_for_inference() override {
+    for (auto& layer : layers_) layer->quantize_for_inference();
+  }
+
   [[nodiscard]] std::string name() const override { return "Sequential"; }
 
   [[nodiscard]] std::size_t weight_layer_count() const override {

@@ -9,8 +9,10 @@
 namespace tdfm::serve {
 
 ServedModel::ServedModel(std::string name, std::uint64_t version,
-                         std::vector<MemberInit> members, std::size_t slots)
-    : name_(std::move(name)), version_(version), slots_(slots) {
+                         std::vector<MemberInit> members, std::size_t slots,
+                         bool quantize)
+    : name_(std::move(name)), version_(version), slots_(slots),
+      quantized_(quantize) {
   TDFM_CHECK(!members.empty(), "a served model needs at least one member");
   TDFM_CHECK(slots_ >= 1, "a served model needs at least one replica slot");
   num_classes_ = members.front().fitted->num_classes();
@@ -29,6 +31,9 @@ ServedModel::ServedModel(std::string name, std::uint64_t version,
     for (std::size_t s = 0; s < slots_; ++s) {
       std::unique_ptr<nn::Network> replica = member.factory(rng);
       replica->copy_weights_from(*member.fitted);
+      // Quantize after the fp32 copy: the checkpoint stays fp32 on disk and
+      // only the in-memory replica shrinks.
+      if (quantize) replica->quantize_for_inference();
       slots_for_member.push_back(std::move(replica));
     }
     replicas_.push_back(std::move(slots_for_member));
@@ -132,10 +137,12 @@ ModelRegistry::Handle::Entry& ModelRegistry::entry(const std::string& name) {
 }
 
 std::uint64_t ModelRegistry::publish(const std::string& name,
-                                     std::vector<MemberInit> members) {
+                                     std::vector<MemberInit> members,
+                                     bool quantize) {
   Handle::Entry& e = entry(name);
   const std::uint64_t version = e.next_version.fetch_add(1, std::memory_order_relaxed);
-  auto model = std::make_shared<ServedModel>(name, version, std::move(members), slots_);
+  auto model = std::make_shared<ServedModel>(name, version, std::move(members), slots_,
+                                             quantize);
   // One slot store publishes the fully-constructed version; readers that
   // loaded the previous shared_ptr keep it alive until their batch is done.
   e.current.store(std::move(model));
@@ -143,21 +150,24 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
 }
 
 std::uint64_t ModelRegistry::install(const std::string& name,
-                                     std::vector<MemberInit> members) {
-  return publish(name, std::move(members));
+                                     std::vector<MemberInit> members,
+                                     bool quantize) {
+  return publish(name, std::move(members), quantize);
 }
 
 std::uint64_t ModelRegistry::load(const std::string& name,
-                                  const std::string& checkpoint_path) {
+                                  const std::string& checkpoint_path,
+                                  bool quantize) {
   const nn::CheckpointMeta meta = nn::read_checkpoint_meta(checkpoint_path);
   const models::Arch arch = models::arch_from_name(meta.arch);
-  return load(name, checkpoint_path, arch, models::config_from_meta(meta));
+  return load(name, checkpoint_path, arch, models::config_from_meta(meta), quantize);
 }
 
 std::uint64_t ModelRegistry::load(const std::string& name,
                                   const std::string& checkpoint_path,
                                   models::Arch arch,
-                                  const models::ModelConfig& config) {
+                                  const models::ModelConfig& config,
+                                  bool quantize) {
   MemberInit member;
   member.factory = models::make_factory(arch, config);
   Rng rng(0x10adu);
@@ -165,11 +175,12 @@ std::uint64_t ModelRegistry::load(const std::string& name,
   nn::load_checkpoint(*member.fitted, checkpoint_path);
   std::vector<MemberInit> members;
   members.push_back(std::move(member));
-  return publish(name, std::move(members));
+  return publish(name, std::move(members), quantize);
 }
 
 std::uint64_t ModelRegistry::load_ensemble(
-    const std::string& name, const std::vector<std::string>& checkpoint_paths) {
+    const std::string& name, const std::vector<std::string>& checkpoint_paths,
+    bool quantize) {
   TDFM_CHECK(!checkpoint_paths.empty(), "ensemble needs at least one checkpoint");
   std::vector<MemberInit> members;
   members.reserve(checkpoint_paths.size());
@@ -183,7 +194,7 @@ std::uint64_t ModelRegistry::load_ensemble(
     nn::load_checkpoint(*member.fitted, path);
     members.push_back(std::move(member));
   }
-  return publish(name, std::move(members));
+  return publish(name, std::move(members), quantize);
 }
 
 ModelRegistry::Handle ModelRegistry::handle(const std::string& name) {

@@ -51,9 +51,12 @@ class ServedModel {
  public:
   /// Builds `slots` replicas of every member and copies the fitted weights
   /// into each (including slot 0, so every slot is bit-identical by
-  /// construction).  The fitted networks are only read.
+  /// construction).  The fitted networks are only read.  With `quantize`
+  /// each replica is converted to q8_0 inference form after the copy, so
+  /// every per-worker replica holds ~4x less weight storage.
   ServedModel(std::string name, std::uint64_t version,
-              std::vector<MemberInit> members, std::size_t slots);
+              std::vector<MemberInit> members, std::size_t slots,
+              bool quantize = false);
 
   /// Classifies one micro-batch (leading dim = batch) using slot `slot`'s
   /// replicas.  Each slot must be driven by at most one thread at a time —
@@ -67,12 +70,14 @@ class ServedModel {
   [[nodiscard]] std::size_t num_members() const { return replicas_.size(); }
   [[nodiscard]] std::size_t slots() const { return slots_; }
   [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] bool quantized() const { return quantized_; }
 
  private:
   std::string name_;
   std::uint64_t version_;
   std::size_t slots_;
   std::size_t num_classes_;
+  bool quantized_ = false;
   /// replicas_[member][slot]; slot s is owned by worker s while serving.
   std::vector<std::vector<std::unique_ptr<nn::Network>>> replicas_;
 };
@@ -102,22 +107,27 @@ class ModelRegistry {
   };
 
   /// Publishes a new version built from already-fitted members.  Returns
-  /// the version number (1-based, monotone per name).
-  std::uint64_t install(const std::string& name, std::vector<MemberInit> members);
+  /// the version number (1-based, monotone per name).  `quantize` converts
+  /// every replica to q8_0 inference form (here and in every load below).
+  std::uint64_t install(const std::string& name, std::vector<MemberInit> members,
+                        bool quantize = false);
 
   /// Loads a self-describing v2 checkpoint: instantiates the architecture
   /// named in the header, restores the weights, publishes.  Throws on v1
   /// files (no metadata) — use the explicit-architecture overload.
-  std::uint64_t load(const std::string& name, const std::string& checkpoint_path);
+  std::uint64_t load(const std::string& name, const std::string& checkpoint_path,
+                     bool quantize = false);
 
   /// Loads a v1 (count-only) checkpoint with the architecture supplied out
   /// of band.  Also accepts v2 files (the header is validated then unused).
   std::uint64_t load(const std::string& name, const std::string& checkpoint_path,
-                     models::Arch arch, const models::ModelConfig& config);
+                     models::Arch arch, const models::ModelConfig& config,
+                     bool quantize = false);
 
   /// Loads several v2 checkpoints as the members of one logical ensemble.
   std::uint64_t load_ensemble(const std::string& name,
-                              const std::vector<std::string>& checkpoint_paths);
+                              const std::vector<std::string>& checkpoint_paths,
+                              bool quantize = false);
 
   /// Handle for `name`, creating an empty entry when absent (a model can be
   /// loaded after engines already hold handles to it).
@@ -131,7 +141,8 @@ class ModelRegistry {
 
  private:
   Handle::Entry& entry(const std::string& name);
-  std::uint64_t publish(const std::string& name, std::vector<MemberInit> members);
+  std::uint64_t publish(const std::string& name, std::vector<MemberInit> members,
+                        bool quantize);
 
   std::size_t slots_;
   mutable std::mutex mu_;  ///< guards the name map only, never the hot path

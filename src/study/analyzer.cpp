@@ -52,6 +52,18 @@ GroupStats fold_group(const std::vector<const CellRecord*>& records) {
   g.train_seconds = summarize(train);
   g.infer_seconds = summarize(infer);
   g.inference_models = first.inference_models;
+  if (first.quantized) {
+    g.quantized = true;
+    std::vector<double> qacc, qad, qfp;
+    for (const CellRecord* r : records) {
+      qacc.push_back(r->quantized_accuracy);
+      qad.push_back(r->quantized_ad);
+      qfp.push_back(r->quantized_vs_fp32_ad);
+    }
+    g.quantized_accuracy = summarize(qacc);
+    g.quantized_ad = summarize(qad);
+    g.quantized_vs_fp32_ad = summarize(qfp);
+  }
   return g;
 }
 
@@ -184,6 +196,28 @@ std::string render_tables(const CampaignSummary& s, const ReportOptions& opts,
     emit(table);
   }
 
+  // int8-vs-fp32 panel (quant-ad preset): fp32 AD next to int8 AD (both vs
+  // the fp32 golden) plus the direct int8-vs-fp32 prediction delta, so the
+  // quantization cost is readable per mitigation technique.
+  const bool any_quantized = std::any_of(
+      s.groups.begin(), s.groups.end(),
+      [](const GroupStats& g) { return g.quantized; });
+  if (any_quantized) {
+    AsciiTable table({"dataset", "model", "fault level", "technique",
+                      "fp32 AD", "int8 AD", "int8 acc", "int8 vs fp32 AD"});
+    for (const GroupStats& g : s.groups) {
+      if (!g.quantized) continue;
+      table.add_row(
+          {g.dataset, g.model, g.fault_level, g.technique,
+           percent_with_ci(g.ad.mean, g.ad.ci95_half_width),
+           percent_with_ci(g.quantized_ad.mean, g.quantized_ad.ci95_half_width),
+           percent(g.quantized_accuracy.mean),
+           percent(g.quantized_vs_fp32_ad.mean)});
+    }
+    os << "## Quantization: int8 vs fp32\n";
+    emit(table);
+  }
+
   if (opts.include_timings) {
     AsciiTable table({"dataset", "model", "fault level", "technique",
                       "train s", "infer ms", "models"});
@@ -214,9 +248,17 @@ std::string render_markdown(const CampaignSummary& summary,
 std::string render_csv(const CampaignSummary& summary,
                        const ReportOptions& options) {
   std::ostringstream os;
+  // Quantization columns appear only when some group measured int8, so the
+  // csv shape of fp32-only campaigns is unchanged.
+  const bool any_quantized = std::any_of(
+      summary.groups.begin(), summary.groups.end(),
+      [](const GroupStats& g) { return g.quantized; });
   os << "dataset,model,fault_level,technique,trials,mean_ad,ad_ci95,"
         "mean_accuracy,golden_accuracy,mean_reverse_ad,mean_naive_drop,"
         "inference_models";
+  if (any_quantized) {
+    os << ",quantized_accuracy,quantized_ad,quantized_vs_fp32_ad";
+  }
   if (options.include_timings) os << ",train_seconds,infer_seconds";
   os << "\n";
   for (const GroupStats& g : summary.groups) {
@@ -227,6 +269,11 @@ std::string render_csv(const CampaignSummary& summary,
        << fixed(g.golden_accuracy.mean, 6) << ','
        << fixed(g.reverse_ad.mean, 6) << ',' << fixed(g.naive_drop.mean, 6)
        << ',' << fixed(g.inference_models, 2);
+    if (any_quantized) {
+      os << ',' << fixed(g.quantized_accuracy.mean, 6) << ','
+         << fixed(g.quantized_ad.mean, 6) << ','
+         << fixed(g.quantized_vs_fp32_ad.mean, 6);
+    }
     if (options.include_timings) {
       os << ',' << fixed(g.train_seconds.mean, 6) << ','
          << fixed(g.infer_seconds.mean, 6);
@@ -271,6 +318,12 @@ std::string render_json_summary(const CampaignSummary& summary,
        << ", \"mean_reverse_ad\": " << json_number(g.reverse_ad.mean)
        << ", \"mean_naive_drop\": " << json_number(g.naive_drop.mean)
        << ", \"inference_models\": " << json_number(g.inference_models);
+    if (g.quantized) {
+      os << ", \"quantized_accuracy\": " << json_number(g.quantized_accuracy.mean)
+         << ", \"quantized_ad\": " << json_number(g.quantized_ad.mean)
+         << ", \"quantized_vs_fp32_ad\": "
+         << json_number(g.quantized_vs_fp32_ad.mean);
+    }
     if (options.include_timings) {
       os << ", \"train_seconds\": " << json_number(g.train_seconds.mean)
          << ", \"infer_seconds\": " << json_number(g.infer_seconds.mean);

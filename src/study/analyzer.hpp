@@ -38,6 +38,12 @@ struct GroupStats {
   SampleStats train_seconds;
   SampleStats infer_seconds;
   double inference_models = 1.0;
+  /// q8_0 measurement (StudySpec::measure_quantized); the quantized stats
+  /// below are meaningful only when true.
+  bool quantized = false;
+  SampleStats quantized_accuracy;
+  SampleStats quantized_ad;          ///< int8 vs fp32 golden
+  SampleStats quantized_vs_fp32_ad;  ///< int8 vs the same cell's fp32 preds
 };
 
 /// Per-technique cross-context roll-up (Observations 1-3).

@@ -48,7 +48,12 @@ std::string to_jsonl(const CellRecord& r) {
      << ", \"train_seconds\": " << exact_number(r.train_seconds)
      << ", \"infer_seconds\": " << exact_number(r.infer_seconds)
      << ", \"inference_models\": " << exact_number(r.inference_models)
-     << ", \"shared_fit\": " << (r.shared_fit ? "true" : "false") << "}";
+     << ", \"shared_fit\": " << (r.shared_fit ? "true" : "false")
+     << ", \"quantized\": " << (r.quantized ? "true" : "false")
+     << ", \"quantized_accuracy\": " << exact_number(r.quantized_accuracy)
+     << ", \"quantized_ad\": " << exact_number(r.quantized_ad)
+     << ", \"quantized_vs_fp32_ad\": " << exact_number(r.quantized_vs_fp32_ad)
+     << "}";
   return os.str();
 }
 
@@ -221,6 +226,10 @@ CellRecord parse_record(std::string_view line) {
     else if (key == "infer_seconds") r.infer_seconds = num;
     else if (key == "inference_models") r.inference_models = num;
     else if (key == "shared_fit" && is_bool) r.shared_fit = num != 0.0;
+    else if (key == "quantized" && is_bool) r.quantized = num != 0.0;
+    else if (key == "quantized_accuracy") r.quantized_accuracy = num;
+    else if (key == "quantized_ad") r.quantized_ad = num;
+    else if (key == "quantized_vs_fp32_ad") r.quantized_vs_fp32_ad = num;
     // Unknown keys: ignored (forward compatibility).
   });
   if (!saw_cell || r.cell.empty()) {

@@ -44,6 +44,10 @@ struct CellRecord {
   double infer_seconds = 0.0;
   double inference_models = 1.0;
   bool shared_fit = false;  ///< fit shared across panels (ensemble cache)
+  bool quantized = false;   ///< q8_0 measurement ran for this cell
+  double quantized_accuracy = 0.0;    ///< int8 model accuracy on faulty data
+  double quantized_ad = 0.0;          ///< int8 model AD vs the fp32 golden
+  double quantized_vs_fp32_ad = 0.0;  ///< int8 vs this cell's own fp32 preds
 
   [[nodiscard]] bool operator==(const CellRecord&) const = default;
 };

@@ -135,6 +135,22 @@ std::vector<Preset> build_presets() {
                        std::move(spec)});
   }
   {
+    // int8-vs-fp32 deployment question: does q8_0 quantization change how
+    // much faulty training data hurts?  Small grid, every cell measured
+    // twice (fp32 then quantized) against the same fp32 golden.
+    StudySpec spec = bench_scale("quant-ad");
+    spec.datasets = {DatasetKind::kGtsrbSim};
+    spec.models = {Arch::kConvNet, Arch::kMobileNet};
+    spec.fault_levels = {{}, {faults::FaultSpec{FaultType::kMislabelling, 30.0}}};
+    spec.techniques = {TechniqueKind::kBaseline, TechniqueKind::kLabelSmoothing,
+                       TechniqueKind::kRobustLoss, TechniqueKind::kEnsemble};
+    spec.hyperparams.ens_members = {Arch::kConvNet, Arch::kMobileNet};
+    spec.measure_quantized = true;
+    presets.push_back({"quant-ad",
+                       "int8 vs fp32 AD per mitigation technique (q8_0)",
+                       std::move(spec)});
+  }
+  {
     // The overnight grid: every architecture and dataset, all three fault
     // sweeps plus the clean level, 20 trials, full-size datasets.
     StudySpec spec;

@@ -40,6 +40,7 @@ struct GoldenResult {
 /// the panel model, so one fit serves every model axis entry).
 struct SharedFit {
   std::vector<int> preds;
+  std::vector<int> q_preds;  ///< int8 predictions (measure_quantized only)
   double train_seconds = 0.0;
   double infer_seconds = 0.0;
   double inference_models = 1.0;
@@ -152,6 +153,15 @@ SharedFit fit_and_predict(const StudySpec& spec, const Cell& cell,
     out.preds = classifier->predict(data.test.images);
     out.infer_seconds = predict_span.stop();
     out.inference_models = classifier->inference_model_count();
+    if (spec.measure_quantized) {
+      // fp32 predictions are done, so destroying the fp32 weights in place
+      // is safe; a classifier with nothing to quantize reports fp32 == int8.
+      if (classifier->quantize_for_inference()) {
+        out.q_preds = classifier->predict(data.test.images);
+      } else {
+        out.q_preds = out.preds;
+      }
+    }
     return out;
   };
 
@@ -226,6 +236,14 @@ CellRecord run_cell(const StudySpec& spec, const Cell& cell,
   rec.infer_seconds = fit.infer_seconds;
   rec.inference_models = fit.inference_models;
   rec.shared_fit = shared;
+  if (spec.measure_quantized) {
+    rec.quantized = true;
+    rec.quantized_accuracy = metrics::accuracy(fit.q_preds, data->test.labels);
+    rec.quantized_ad =
+        metrics::accuracy_delta(golden->preds, fit.q_preds, data->test.labels);
+    rec.quantized_vs_fp32_ad =
+        metrics::accuracy_delta(fit.preds, fit.q_preds, data->test.labels);
+  }
 
   emit_cell_telemetry(rec, rec.faulty_accuracy, rec.ad);
   TDFM_LOG(kInfo) << "study cell " << rec.cell << " " << rec.dataset << "/"

@@ -130,12 +130,15 @@ std::string seed_canonical(const StudySpec& spec) {
 
 std::string cell_canonical(const StudySpec& spec, const Cell& cell) {
   const data::DatasetKind kind = spec.datasets[cell.dataset];
+  // The quantized suffix appears only when the flag is on so cell ids of
+  // existing (fp32-only) campaigns are unchanged.
   return "tdfm.cell.v1|" + dataset_canonical(spec, kind) + "|" +
          model_canonical(spec, spec.models[cell.model]) + "|" +
          level_canonical(spec, cell.level) + "|technique=" +
          mitigation::technique_name(spec.techniques[cell.technique]) + "|" +
          trial_canonical(cell.trial) + "|" + train_canonical(spec, kind) + "|" +
-         hp_canonical(spec) + "|" + seed_canonical(spec);
+         hp_canonical(spec) + "|" + seed_canonical(spec) +
+         (spec.measure_quantized ? "|quantized=1" : "");
 }
 
 std::string cell_id(const StudySpec& spec, const Cell& cell) {
@@ -236,7 +239,8 @@ std::string fit_canonical(const StudySpec& spec, const Cell& cell) {
          level_canonical(spec, cell.level) + "|technique=" +
          mitigation::technique_name(spec.techniques[cell.technique]) + "|" +
          trial_canonical(cell.trial) + "|" + train_canonical(spec, kind) + "|" +
-         hp_canonical(spec) + "|" + seed_canonical(spec);
+         hp_canonical(spec) + "|" + seed_canonical(spec) +
+         (spec.measure_quantized ? "|quantized=1" : "");
 }
 
 }  // namespace

@@ -58,6 +58,11 @@ struct StudySpec {
   /// (batch 8, 2.5x epochs, scale floored at 1.0) so every model sees a
   /// comparable number of optimisation steps.  Off for surgical test specs.
   bool tune_small_datasets = true;
+  /// Additionally evaluate every fitted classifier after q8_0 quantization
+  /// and record int8 accuracy/AD next to the fp32 numbers.  Changes the cell
+  /// identity (quantized predictions are part of the computed bits) but only
+  /// when on, so existing campaign journals stay valid.
+  bool measure_quantized = false;
 
   /// Throws InvariantError on a degenerate grid (any empty axis, 0 trials).
   void validate() const;

@@ -1,9 +1,9 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "core/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 
 namespace tdfm {
@@ -20,21 +20,15 @@ void count_gemm(std::size_t m, std::size_t n, std::size_t k) {
   calls.add(1);
   flops.add(2 * m * n * k);
 }
-// Block sizes chosen so one A-block plus one B-block fit comfortably in L1/L2
-// for the matrix sizes this library produces (k up to a few thousand from
-// im2col, n up to a few hundred output channels).
-constexpr std::size_t kBlockM = 64;
-constexpr std::size_t kBlockN = 256;
-constexpr std::size_t kBlockK = 256;
 
 // Minimum FLOPs a parallel chunk should carry; below this the scheduling
 // overhead outweighs the work, so small GEMMs stay on one thread.
 constexpr std::size_t kMinFlopsPerChunk = 1U << 19;
 
-// Rows of C per parallel chunk.  Every row's arithmetic is independent of
-// the partition (the k/n traversal order within a row never changes), so
-// any grain yields bit-identical results — the choice is purely about
-// amortising scheduling overhead.
+// Rows of C per parallel chunk.  Every kernel keeps each row's arithmetic
+// independent of the partition (see kernels/kernels.hpp), so any grain
+// yields bit-identical results — the choice is purely about amortising
+// scheduling overhead.
 std::size_t row_grain(std::size_t m, std::size_t n, std::size_t k) {
   const std::size_t flops_per_row = 2 * n * k;
   if (flops_per_row == 0) return m;
@@ -45,71 +39,27 @@ std::size_t row_grain(std::size_t m, std::size_t n, std::size_t k) {
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
   count_gemm(m, n, k);
+  const auto fn = kernels::active_table().nn;
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
-    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
-    for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
-      const std::size_t i1 = std::min(i0 + kBlockM, r1);
-      for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-        const std::size_t p1 = std::min(p0 + kBlockK, k);
-        for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-          const std::size_t j1 = std::min(j0 + kBlockN, n);
-          for (std::size_t i = i0; i < i1; ++i) {
-            float* __restrict__ crow = c + i * n;
-            for (std::size_t p = p0; p < p1; ++p) {
-              const float av = a[i * k + p];
-              const float* __restrict__ brow = b + p * n;
-              for (std::size_t j = j0; j < j1; ++j) {
-                crow[j] += av * brow[j];
-              }
-            }
-          }
-        }
-      }
-    }
+    fn(r0, r1, m, n, k, a, b, c, accumulate);
   });
 }
 
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
-  // C[i,j] = dot(A[i,:], B[j,:]) — both operands are traversed row-wise, so
-  // a straightforward dot-product loop is already cache-friendly.
   count_gemm(m, n, k);
+  const auto fn = kernels::active_table().nt;
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* __restrict__ arow = a + i * k;
-      float* __restrict__ crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* __restrict__ brow = b + j * k;
-        float acc = 0.0F;
-        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = accumulate ? crow[j] + acc : acc;
-      }
-    }
+    fn(r0, r1, m, n, k, a, b, c, accumulate);
   });
 }
 
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a,
              const float* b, float* c, bool accumulate) {
-  // C[i,j] = sum_p A[p,i] * B[p,j].  Iterate p outermost so both A and B are
-  // read row-wise; C rows are revisited but usually fit in cache (m*n small
-  // for weight gradients).  Parallel chunks split the i range: each chunk
-  // still visits p in ascending order for its rows, so per-element addition
-  // order — and therefore every bit of C — is partition-independent.
   count_gemm(m, n, k);
+  const auto fn = kernels::active_table().tn;
   core::parallel_for(0, m, row_grain(m, n, k), [=](std::size_t r0, std::size_t r1) {
-    if (!accumulate) std::memset(c + r0 * n, 0, (r1 - r0) * n * sizeof(float));
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* __restrict__ arow = a + p * m;
-      const float* __restrict__ brow = b + p * n;
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float av = arow[i];
-        if (av == 0.0F) continue;  // ReLU-sparse activations skip whole rows
-        float* __restrict__ crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
+    fn(r0, r1, m, n, k, a, b, c, accumulate);
   });
 }
 

@@ -1,10 +1,13 @@
-// Single-precision matrix multiplication kernels.
+// Single-precision matrix multiplication entry points.
 //
 // Convolution (via im2col) and dense layers reduce to GEMM, so these three
-// kernels carry >90% of training time.  They are written as cache-blocked
-// scalar loops with __restrict__ pointers; on the evaluation machine GCC
-// auto-vectorises the inner loops (-O3 -march=native), reaching a few
-// GFLOP/s — enough for the scaled-down study.
+// calls carry >90% of training time.  This layer owns threading (row-range
+// chunks over core::parallel_for) and FLOP accounting; the inner loops live
+// in tdfm::kernels, selected once at startup by cpuid or the TDFM_KERNEL
+// env var (scalar|sse2|avx2).  The avx2 table uses register-blocked 8xN
+// FMA micro-tiles; scalar is the compile-time-devectorized reference every
+// other kernel is checked against (tests/kernels).  Within one kernel
+// choice results are bit-identical at any thread count.
 //
 // Layout convention: row-major, C[m x n] = A (op) * B (op) with the
 // transpose baked into the kernel name rather than runtime flags, because

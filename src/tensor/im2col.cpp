@@ -1,5 +1,8 @@
 #include "tensor/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace tdfm {
 
 void im2col(const ConvGeometry& g, const float* image, float* columns,
@@ -23,6 +26,26 @@ void im2col(const ConvGeometry& g, const float* image, float* columns,
             continue;
           }
           const float* src = plane + static_cast<std::size_t>(sy) * g.in_w;
+          if (g.stride == 1) {
+            // Stride-1 rows are a contiguous slide: source index is x + kx -
+            // pad, so the valid span is one memcpy with zeroed flanks.
+            const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(kx) -
+                                         static_cast<std::ptrdiff_t>(g.pad);
+            const std::size_t x0 = static_cast<std::size_t>(
+                std::max<std::ptrdiff_t>(0, -shift));
+            const std::size_t x1 = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+                static_cast<std::ptrdiff_t>(g.in_w) - shift, 0,
+                static_cast<std::ptrdiff_t>(ow)));
+            float* dst = out_row + y * ow;
+            for (std::size_t x = 0; x < x0; ++x) dst[x] = 0.0F;
+            if (x1 > x0) {
+              std::memcpy(dst + x0, src + static_cast<std::size_t>(
+                                              static_cast<std::ptrdiff_t>(x0) + shift),
+                          (x1 - x0) * sizeof(float));
+            }
+            for (std::size_t x = x1; x < ow; ++x) dst[x] = 0.0F;
+            continue;
+          }
           for (std::size_t x = 0; x < ow; ++x) {
             const std::ptrdiff_t sx =
                 static_cast<std::ptrdiff_t>(x * g.stride + kx) -
@@ -31,6 +54,39 @@ void im2col(const ConvGeometry& g, const float* image, float* columns,
                 (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w))
                     ? 0.0F
                     : src[static_cast<std::size_t>(sx)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2row(const ConvGeometry& g, const float* image, float* rows_out) {
+  const std::size_t oh = g.out_h();
+  const std::size_t ow = g.out_w();
+  const std::size_t pr = g.patch_rows();
+  for (std::size_t y = 0; y < oh; ++y) {
+    for (std::size_t x = 0; x < ow; ++x) {
+      float* dst = rows_out + (y * ow + x) * pr;
+      std::size_t t = 0;
+      for (std::size_t c = 0; c < g.in_c; ++c) {
+        const float* plane = image + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+            for (std::size_t kx = 0; kx < g.kernel; ++kx) dst[t++] = 0.0F;
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(sy) * g.in_w;
+          for (std::size_t kx = 0; kx < g.kernel; ++kx) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            dst[t++] = (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w))
+                           ? 0.0F
+                           : src[static_cast<std::size_t>(sx)];
           }
         }
       }

@@ -40,6 +40,13 @@ struct ConvGeometry {
 void im2col(const ConvGeometry& g, const float* image, float* columns,
             std::size_t row_stride = 0, std::size_t col_offset = 0);
 
+/// Transposed unrolling: one *row* per output pixel, laid out
+/// [out_h*out_w, C*k*k] with taps ordered (c, ky, kx) — the same order as a
+/// Conv2D weight row — so quantized convolution can q8-quantize each patch
+/// row and dot it against quantized weight rows directly (tensor/qgemm.hpp),
+/// no transpose needed.  Out-of-bounds taps read as zero.
+void im2row(const ConvGeometry& g, const float* image, float* rows_out);
+
 /// Adjoint of im2col: scatters the patch-matrix gradient back into the
 /// image gradient [C, H, W].  The output buffer is accumulated into, so the
 /// caller zeroes it first when appropriate.  `row_stride`/`col_offset`

@@ -1,0 +1,54 @@
+#include "tensor/qgemm.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "kernels/kernels.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm {
+
+namespace {
+
+void count_qgemm(std::size_t m, std::size_t n, std::size_t k) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter calls = obs::Registry::global().counter("qgemm.calls");
+  static obs::Counter flops = obs::Registry::global().counter("qgemm.flops");
+  calls.add(1);
+  flops.add(2 * m * n * k);
+}
+
+// Same grain policy as fp32 GEMM (tensor/gemm.cpp): keep each chunk above a
+// minimum FLOP count so scheduling overhead stays amortised.
+constexpr std::size_t kMinFlopsPerChunk = 1U << 19;
+
+std::size_t row_grain(std::size_t m, std::size_t n, std::size_t k) {
+  const std::size_t flops_per_row = 2 * n * k;
+  if (flops_per_row == 0) return m;
+  return std::clamp<std::size_t>(kMinFlopsPerChunk / flops_per_row, 1,
+                                 std::max<std::size_t>(m, 1));
+}
+
+}  // namespace
+
+void gemm_q8_nt(const kernels::Q8Matrix& a, const kernels::Q8Matrix& b,
+                float* c) {
+  TDFM_CHECK(a.blocks_per_row == b.blocks_per_row,
+             "q8 operands must share the reduction width");
+  const std::size_t m = a.rows;
+  const std::size_t n = b.rows;
+  const std::size_t blocks = a.blocks_per_row;
+  count_qgemm(m, n, a.cols);
+  const auto fn = kernels::active_table().q8_nt;
+  const std::int8_t* aq = a.data.data();
+  const float* as = a.scales.data();
+  const std::int8_t* bq = b.data.data();
+  const float* bs = b.scales.data();
+  core::parallel_for(0, m, row_grain(m, n, a.cols),
+                     [=](std::size_t r0, std::size_t r1) {
+                       fn(r0, r1, n, blocks, aq, as, bq, bs, c);
+                     });
+}
+
+}  // namespace tdfm

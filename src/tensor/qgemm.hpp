@@ -1,0 +1,24 @@
+// Quantized (q8_0) matrix multiplication for inference.
+//
+// C[m x n] = A * B^T where both operands are row-wise q8_0 quantized
+// (kernels/quant.hpp).  Only the nt shape exists: inference matmuls put the
+// reduction along rows of both operands (dense: activations x weights;
+// conv: weights x im2row patches), and backprop never runs quantized.
+//
+// Numerics: each 32-element block contributes scaleA * scaleB * (exact int32
+// dot), accumulated in fixed ascending block order — so the result is
+// bit-identical across kernel choices AND thread counts, unlike fp32 GEMM
+// which is only bit-stable within a kernel choice.
+#pragma once
+
+#include "kernels/quant.hpp"
+
+namespace tdfm {
+
+/// C[a.rows x b.rows] = A * B^T over the quantized blocks.  Requires
+/// a.blocks_per_row == b.blocks_per_row (same logical reduction width,
+/// tail-padded identically).  C is always overwritten.
+void gemm_q8_nt(const kernels::Q8Matrix& a, const kernels::Q8Matrix& b,
+                float* c);
+
+}  // namespace tdfm

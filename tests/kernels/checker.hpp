@@ -1,0 +1,46 @@
+// Shared tolerance policy for the kernel checker suite (InferLLM-style:
+// every optimized kernel is compared element-wise against the scalar
+// reference over randomized shapes, never assumed correct).
+//
+// fp32 kernels legitimately differ from the reference: FMA keeps an extra
+// bit per multiply-add and the vectorized reductions reassociate the
+// k-length dot product, so the allowed error grows with the reduction
+// length and the magnitude of the result:
+//
+//   |got - ref| <= 1e-5 + 2e-7 * k + 1e-4 * |ref|
+//
+// The q8 kernels are NOT given this slack — their block dot is exact
+// integer arithmetic with a fixed float accumulation order, so the checker
+// compares them with memcmp (bit identity) instead.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+namespace tdfm::kernels_test {
+
+/// Element-wise closeness with the k-scaled tolerance above.  Reports at
+/// most five offending elements per call so a broken kernel does not flood
+/// the log with thousands of failures.
+inline void expect_allclose(const float* got, const float* ref,
+                            std::size_t count, std::size_t k,
+                            const std::string& what) {
+  const double base = 1e-5 + 2e-7 * static_cast<double>(k);
+  std::size_t reported = 0;
+  for (std::size_t i = 0; i < count && reported < 5; ++i) {
+    const auto g = static_cast<double>(got[i]);
+    const auto r = static_cast<double>(ref[i]);
+    const double tol = base + 1e-4 * std::fabs(r);
+    if (std::fabs(g - r) > tol) {
+      ADD_FAILURE() << what << ": element " << i << " got " << g << " want "
+                    << r << " (|diff| " << std::fabs(g - r) << " > tol " << tol
+                    << ")";
+      ++reported;
+    }
+  }
+}
+
+}  // namespace tdfm::kernels_test

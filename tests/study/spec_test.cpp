@@ -144,7 +144,7 @@ TEST(StudyPresets, CatalogueIsPinned) {
   const std::vector<std::string> expected = {
       "smoke",          "fig3-mislabelling", "fig3-removal",
       "fig4-mislabelling", "fig4-repetition", "fig4",
-      "table4",         "paper-full"};
+      "table4",         "quant-ad",          "paper-full"};
   EXPECT_EQ(preset_names(), expected);
   EXPECT_THROW((void)preset("no-such-preset"), ConfigError);
   // Every preset expands without validation errors.
