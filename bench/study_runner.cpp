@@ -10,15 +10,29 @@
 //                --resume true          # completes only the remaining cells
 //   study_runner --journal fig3.jsonl --report markdown --report-only true
 //
-// Reports exclude wall-clock timings by default, so a resumed run's report
-// is byte-identical to an uninterrupted one at any --jobs value; pass
-// --timings true for the §IV-E overhead view.
+// A campaign also shards across processes with zero coordination (cells are
+// content-hashed, so hash(cell) % N partitions the grid identically in every
+// process):
+//
+//   study_runner --preset fig4 --shard 0/3 --journal fig4.s0.jsonl   # 3 shells
+//   study_runner --preset fig4 --shard 1/3 --journal fig4.s1.jsonl   # ...
+//   study_runner --preset fig4 --shard 2/3 --journal fig4.s2.jsonl
+//   study_runner --merge fig4.s0.jsonl,fig4.s1.jsonl,fig4.s2.jsonl \
+//                --journal fig4.jsonl               # fuse + dedup + report
+//
+//   study_runner --preset fig4 --spawn 3 --journal fig4.jsonl        # or: one
+//                # driver that spawns the 3 shard processes and merges
+//
+// Reports exclude wall-clock timings by default, so a resumed, sharded, or
+// merged run's report is byte-identical to an uninterrupted single-process
+// one at any --jobs value; pass --timings true for the §IV-E overhead view.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <unordered_map>
 
 #include "bench_common.hpp"
+#include "core/process.hpp"
 
 namespace {
 
@@ -34,6 +48,65 @@ void deliver(const std::string& text, const std::string& out_path) {
   TDFM_CHECK(out.good(), "cannot open --out file: " + out_path);
   out << text;
   TDFM_CHECK(out.good(), "failed writing --out file: " + out_path);
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > pos) out.push_back(list.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Parses "--shard i/N" (0-based shard index).  Empty means unsharded.
+void parse_shard(const std::string& text, std::size_t* index,
+                 std::size_t* count) {
+  *index = 0;
+  *count = 1;
+  if (text.empty()) return;
+  const std::size_t slash = text.find('/');
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument(text);
+    *index = std::stoul(text.substr(0, slash));
+    *count = std::stoul(text.substr(slash + 1));
+  } catch (const std::exception&) {
+    throw ConfigError("--shard wants i/N (e.g. 0/3), got '" + text + "'");
+  }
+  TDFM_CHECK(*count >= 1 && *index < *count,
+             "--shard index must satisfy 0 <= i < N");
+}
+
+/// Per-shard journal path: <journal>.shard<i>of<N>.jsonl — the naming the
+/// --spawn driver and the smoke script agree on.
+std::string shard_journal_path(const std::string& base, std::size_t i,
+                               std::size_t n) {
+  return base + ".shard" + std::to_string(i) + "of" + std::to_string(n) +
+         ".jsonl";
+}
+
+/// Orders journal records by the spec's expansion order (foreign cell ids
+/// sort last, by id).  The journal is in completion order, which depends on
+/// --jobs, sharding, and timing; reports must not.
+void sort_by_expansion(std::vector<study::CellRecord>& records,
+                       const study::StudySpec& spec) {
+  std::unordered_map<std::string, std::size_t> expansion_order;
+  const auto cells = study::expand_cells(spec);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expansion_order.emplace(study::cell_id(spec, cells[i]), i);
+  }
+  const auto rank = [&](const study::CellRecord& r) {
+    const auto it = expansion_order.find(r.cell);
+    return it == expansion_order.end() ? cells.size() : it->second;
+  };
+  std::stable_sort(records.begin(), records.end(),
+                   [&](const auto& a, const auto& b) {
+                     const std::size_t ra = rank(a), rb = rank(b);
+                     return ra != rb ? ra < rb : a.cell < b.cell;
+                   });
 }
 
 std::string render_report(const study::CampaignSummary& summary,
@@ -61,6 +134,21 @@ int main(int argc, char** argv) try {
   cli.add_flag("report-only", "false",
                "do not run anything; report the --journal contents");
   cli.add_flag("jobs", "1", "concurrent cells (0 = hardware concurrency)");
+  cli.add_flag("shard", "",
+               "run only this shard of the grid, as i/N (0-based); cells are "
+               "partitioned by hash(cell_id) % N");
+  cli.add_flag("merge", "",
+               "fuse these comma-separated shard journals into --journal "
+               "(dedup + conflict check), then report; runs nothing");
+  cli.add_flag("spawn", "0",
+               "driver mode: spawn N shard worker processes over --journal's "
+               "derived per-shard journals, merge on completion");
+  cli.add_flag("steal", "false",
+               "sharded runs: after draining the own shard, claim cells no "
+               "sibling journal records yet (idle shards help slow ones)");
+  cli.add_flag("siblings", "",
+               "comma-separated sibling shard journals consulted by --steal "
+               "(--spawn fills this in automatically)");
   cli.add_flag("shuffle", "0",
                "non-zero: run pending cells in this seed's shuffled order");
   cli.add_flag("report", "ascii", "report format: ascii|markdown|csv|json|none");
@@ -106,13 +194,8 @@ int main(int argc, char** argv) try {
   }
   if (overridden("datasets")) {
     spec.datasets.clear();
-    const std::string list = cli.get_string("datasets");
-    std::size_t pos = 0;
-    while (pos < list.size()) {
-      const std::size_t comma = list.find(',', pos);
-      const std::size_t end = comma == std::string::npos ? list.size() : comma;
-      spec.datasets.push_back(data::dataset_from_name(list.substr(pos, end - pos)));
-      pos = end + 1;
+    for (const std::string& name : split_csv(cli.get_string("datasets"))) {
+      spec.datasets.push_back(data::dataset_from_name(name));
     }
   }
   if (overridden("trials")) {
@@ -128,29 +211,103 @@ int main(int argc, char** argv) try {
   if (overridden("seed")) spec.seed = cli.get_u64("seed");
   spec.train_opts.threads = static_cast<std::size_t>(cli.get_int("threads"));
 
+  // Merge mode: fuse per-shard journals into --journal, then report.
+  if (!cli.get_string("merge").empty()) {
+    TDFM_CHECK(!journal_path.empty(), "--merge needs --journal (the output)");
+    const auto shard_paths = split_csv(cli.get_string("merge"));
+    auto merged = study::merge_journals(shard_paths);
+    study::write_journal(journal_path, merged.records);
+    std::cerr << "merged " << shard_paths.size() << " journals: "
+              << merged.inputs << " records in, " << merged.records.size()
+              << " unique cells out (" << merged.duplicates
+              << " timing-duplicates dropped) -> " << journal_path << "\n";
+    if (format != "none") {
+      sort_by_expansion(merged.records, spec);
+      const auto summary = study::summarize_campaign(merged.records);
+      deliver(render_report(summary, format, report_opts),
+              cli.get_string("out"));
+    }
+    return 0;
+  }
+
   if (cli.get_bool("report-only")) {
     TDFM_CHECK(!journal_path.empty(), "--report-only needs --journal");
     auto records = study::Journal::load(journal_path);
-    // The journal is in completion order, which depends on --jobs and timing;
-    // re-rendering must not.  Order records by the preset's expansion order
-    // (foreign cell ids sort last, by id) so the report is byte-identical to
-    // the one the live run printed.
-    std::unordered_map<std::string, std::size_t> expansion_order;
-    const auto cells = study::expand_cells(spec);
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-      expansion_order.emplace(study::cell_id(spec, cells[i]), i);
-    }
-    const auto rank = [&](const study::CellRecord& r) {
-      const auto it = expansion_order.find(r.cell);
-      return it == expansion_order.end() ? cells.size() : it->second;
-    };
-    std::stable_sort(records.begin(), records.end(),
-                     [&](const auto& a, const auto& b) {
-                       const std::size_t ra = rank(a), rb = rank(b);
-                       return ra != rb ? ra < rb : a.cell < b.cell;
-                     });
+    // Order records by the preset's expansion order so the report is
+    // byte-identical to the one the live run printed.
+    sort_by_expansion(records, spec);
     const auto summary = study::summarize_campaign(records);
     deliver(render_report(summary, format, report_opts), cli.get_string("out"));
+    return 0;
+  }
+
+  // Driver mode: one worker process per shard, then merge and report.
+  TDFM_CHECK(cli.get_int("spawn") >= 0, "--spawn wants N >= 0");
+  const std::size_t spawn = static_cast<std::size_t>(cli.get_int("spawn"));
+  if (spawn > 0) {
+    TDFM_CHECK(!journal_path.empty(),
+               "--spawn needs --journal (merge target; per-shard journals "
+               "derive from it)");
+    std::vector<std::string> shard_paths(spawn);
+    for (std::size_t i = 0; i < spawn; ++i) {
+      shard_paths[i] = shard_journal_path(journal_path, i, spawn);
+    }
+    const bool steal = cli.get_bool("steal");
+    std::vector<pid_t> pids(spawn);
+    for (std::size_t i = 0; i < spawn; ++i) {
+      std::vector<std::string> child = {argv[0],
+                                        "--preset", cli.get_string("preset"),
+                                        "--shard", std::to_string(i) + "/" +
+                                                       std::to_string(spawn),
+                                        "--journal", shard_paths[i],
+                                        "--jobs", cli.get_string("jobs"),
+                                        "--threads", cli.get_string("threads"),
+                                        "--log", cli.get_string("log"),
+                                        "--report", "none"};
+      for (const char* flag : {"models", "datasets", "trials", "epochs",
+                               "scale", "width", "seed"}) {
+        if (overridden(flag)) {
+          child.insert(child.end(), {std::string("--") + flag,
+                                     cli.get_string(flag)});
+        }
+      }
+      if (cli.get_bool("resume")) child.insert(child.end(), {"--resume", "true"});
+      if (steal) {
+        std::string siblings;
+        for (std::size_t k = 0; k < spawn; ++k) {
+          if (k == i) continue;
+          if (!siblings.empty()) siblings += ',';
+          siblings += shard_paths[k];
+        }
+        child.insert(child.end(),
+                     {"--steal", "true", "--siblings", siblings});
+      }
+      pids[i] = core::spawn_process(child);
+    }
+    std::string failures;
+    for (std::size_t i = 0; i < spawn; ++i) {
+      const core::ProcessExit exit = core::wait_process(pids[i]);
+      if (!exit.ok()) {
+        failures += (failures.empty() ? "" : ", ") + std::string("shard ") +
+                    std::to_string(i) + ": " + exit.describe();
+      }
+    }
+    // Completed shards keep their journals either way: a rerun with
+    // --resume true recomputes only what is missing.
+    TDFM_CHECK(failures.empty(), "shard workers failed (" + failures +
+                                     "); rerun with --resume true");
+    auto merged = study::merge_journals(shard_paths);
+    study::write_journal(journal_path, merged.records);
+    std::cerr << "spawned " << spawn << " shard workers; merged "
+              << merged.inputs << " records into " << merged.records.size()
+              << " unique cells (" << merged.duplicates
+              << " timing-duplicates) -> " << journal_path << "\n";
+    if (format != "none") {
+      sort_by_expansion(merged.records, spec);
+      const auto summary = study::summarize_campaign(merged.records);
+      deliver(render_report(summary, format, report_opts),
+              cli.get_string("out"));
+    }
     return 0;
   }
 
@@ -159,15 +316,22 @@ int main(int argc, char** argv) try {
   run.resume = cli.get_bool("resume");
   run.journal_path = journal_path;
   run.shuffle_seed = cli.get_u64("shuffle");
+  parse_shard(cli.get_string("shard"), &run.shard_index, &run.shard_count);
+  run.work_steal = cli.get_bool("steal");
+  run.sibling_journals = split_csv(cli.get_string("siblings"));
 
   std::cerr << "campaign '" << spec.name << "': " << spec.cell_count()
             << " cells, jobs=" << run.jobs
+            << (run.shard_count > 1
+                    ? ", shard " + std::to_string(run.shard_index) + "/" +
+                          std::to_string(run.shard_count)
+                    : "")
             << (run.resume ? ", resuming from " + journal_path : "") << "\n";
   const auto result = study::run_campaign(spec, run);
-  std::cerr << "executed " << result.executed << " cells, skipped "
-            << result.skipped << " (journaled); dataset cache "
-            << result.dataset_cache.hits << "/"
-            << result.dataset_cache.hits + result.dataset_cache.misses
+  std::cerr << "executed " << result.executed << " cells ("
+            << result.stolen << " stolen), skipped " << result.skipped
+            << " (journaled); dataset cache " << result.dataset_cache.hits
+            << "/" << result.dataset_cache.hits + result.dataset_cache.misses
             << " hits, golden cache " << result.golden_cache.hits << "/"
             << result.golden_cache.hits + result.golden_cache.misses
             << " hits, shared-fit cache " << result.shared_fit_cache.hits

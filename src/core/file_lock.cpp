@@ -1,0 +1,62 @@
+#include "core/file_lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace tdfm::core {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+FileLock::FileLock(int fd) : fd_(fd) {
+  int rc;
+  do {
+    rc = ::flock(fd_, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  TDFM_CHECK(rc == 0, "flock(LOCK_EX) failed: " + errno_text());
+}
+
+FileLock::~FileLock() {
+  // Best effort: the lock also dies with the fd / the process.
+  (void)::flock(fd_, LOCK_UN);
+}
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  do {
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  TDFM_CHECK(fd_ >= 0,
+             "cannot open append file " + path + ": " + errno_text());
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+void AppendFile::append(std::string_view payload) {
+  const FileLock lock(fd_);
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n =
+        ::write(fd_, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw InvariantError("append to " + path_ + " failed: " + errno_text());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // kill -9 survives on the page cache without this; power loss does not.
+  TDFM_CHECK(::fdatasync(fd_) == 0,
+             "fdatasync of " + path_ + " failed: " + errno_text());
+}
+
+}  // namespace tdfm::core

@@ -1,0 +1,65 @@
+// POSIX advisory file locking + crash-safe append primitives.
+//
+// The study journal (and any future multi-process log) needs two guarantees
+// that C++ iostreams cannot give:
+//
+//   1. A record appended by one process never interleaves with a record
+//      appended by another process writing the same file.
+//   2. A record is on its way to disk (write(2) + fdatasync(2)) before the
+//      caller treats the work it describes as durable.
+//
+// AppendFile provides both: one O_APPEND file descriptor held open for the
+// file's lifetime, and `append()` takes an exclusive flock(2) for exactly
+// the duration of one write+sync.  flock locks are per open file
+// description, so two AppendFile instances — in one process or in two —
+// serialise against each other, while readers (which take no lock) see a
+// prefix of whole records plus at most one torn tail after a kill -9.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tdfm::core {
+
+/// RAII exclusive advisory lock on an already-open file descriptor.
+/// Blocks in the constructor until the lock is granted; releases on
+/// destruction.  Throws InvariantError if flock(2) itself fails.
+class FileLock {
+ public:
+  explicit FileLock(int fd);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+/// An append-only file handle for multi-writer logs.  The file is created
+/// (0644) on first open if missing; every `append()` writes the payload in
+/// one locked write+fdatasync, so concurrent writers produce an interleaving
+/// of whole payloads, never byte soup.
+class AppendFile {
+ public:
+  /// Opens (creating if necessary) `path` for appending.  Throws
+  /// InvariantError when the file cannot be opened or created.
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Appends `payload` under an exclusive flock and syncs it to disk.
+  /// The caller supplies any record terminator (e.g. '\n') as part of the
+  /// payload.  Throws InvariantError on a short or failed write.
+  void append(std::string_view payload);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace tdfm::core

@@ -1,0 +1,54 @@
+#include "core/process.hpp"
+
+#include <spawn.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/error.hpp"
+
+extern char** environ;
+
+namespace tdfm::core {
+
+std::string ProcessExit::describe() const {
+  return signalled ? "signal " + std::to_string(term_signal)
+                   : "exit " + std::to_string(exit_code);
+}
+
+pid_t spawn_process(const std::vector<std::string>& argv) {
+  TDFM_CHECK(!argv.empty(), "spawn_process needs a program name");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawnp(&pid, cargv[0], nullptr, nullptr, cargv.data(),
+                                environ);
+  if (rc != 0) {
+    throw InvariantError("posix_spawnp(" + argv[0] +
+                         ") failed: " + std::strerror(rc));
+  }
+  return pid;
+}
+
+ProcessExit wait_process(pid_t pid) {
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  TDFM_CHECK(rc == pid, "waitpid failed: " + std::string(std::strerror(errno)));
+  ProcessExit out;
+  if (WIFSIGNALED(status)) {
+    out.signalled = true;
+    out.term_signal = WTERMSIG(status);
+  } else {
+    out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return out;
+}
+
+}  // namespace tdfm::core

@@ -1,0 +1,36 @@
+// Local process spawning for the multi-process campaign driver.
+//
+// `study_runner --spawn N` forks one worker per shard; all the driver needs
+// is "run this argv, wait for it, tell me how it ended".  posix_spawnp does
+// exactly that without the fork-in-a-threaded-process footguns, and the
+// children inherit stdout/stderr so worker logs interleave visibly.
+#pragma once
+
+#include <sys/types.h>
+
+#include <string>
+#include <vector>
+
+namespace tdfm::core {
+
+/// How a spawned process ended.  `exit_code` is valid when `signalled` is
+/// false; `term_signal` when it is true.
+struct ProcessExit {
+  bool signalled = false;
+  int exit_code = 0;
+  int term_signal = 0;
+
+  [[nodiscard]] bool ok() const { return !signalled && exit_code == 0; }
+  /// "exit 3" / "signal 9" — for error messages.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Spawns `argv` (argv[0] is the program, resolved via PATH) with inherited
+/// stdio and environment.  Throws InvariantError when the spawn itself
+/// fails; a program that starts and then fails is reported by wait_process.
+[[nodiscard]] pid_t spawn_process(const std::vector<std::string>& argv);
+
+/// Blocks until `pid` exits and returns how it ended.
+[[nodiscard]] ProcessExit wait_process(pid_t pid);
+
+}  // namespace tdfm::core

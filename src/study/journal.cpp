@@ -1,11 +1,19 @@
 #include "study/journal.hpp"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "core/error.hpp"
+#include "core/file_lock.hpp"
+#include "core/logging.hpp"
 #include "obs/json.hpp"
 
 namespace tdfm::study {
@@ -128,6 +136,40 @@ class FlatJsonParser {
     return true;
   }
 
+  /// One \uXXXX escape's code unit (the four hex digits after "\u").
+  unsigned parse_hex4() {
+    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = s_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return code;
+  }
+
+  /// Appends `code` (a Unicode scalar value) as UTF-8.
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -151,18 +193,18 @@ class FlatJsonParser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: JSON encodes astral code points as a
+            // \uD800-\uDBFF + \uDC00-\uDFFF pair (RFC 8259 §7).
+            if (!consume_literal("\\u")) fail("unpaired high surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate");
           }
-          // The journal only ever escapes control characters (< 0x20).
-          out += static_cast<char>(code & 0xFF);
+          append_utf8(out, code);
           break;
         }
         default: fail("unknown escape");
@@ -171,16 +213,30 @@ class FlatJsonParser {
   }
 
   double parse_number() {
+    // Exactly the RFC 8259 grammar:
+    //   -? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?
+    // A leading '+', a lone '-', "01", "1." or interior signs ("1-2") are
+    // rejected here rather than left to stod's laxer locale-aware parse, so
+    // foreign files fail loudly, as this parser's contract promises.
     const std::size_t start = pos_;
-    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
-    bool any = false;
-    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
-                      peek() == 'e' || peek() == 'E' || peek() == '-' ||
-                      peek() == '+')) {
-      ++pos_;
-      any = true;
+    const auto digit = [&] { return !eof() && peek() >= '0' && peek() <= '9'; };
+    consume('-');
+    if (consume('0')) {
+      // "0" takes no more integer digits ("01" is not a JSON number).
+    } else {
+      if (!digit()) fail("expected number");
+      while (digit()) ++pos_;
     }
-    if (!any) fail("expected number");
+    if (consume('.')) {
+      if (!digit()) fail("expected digit after decimal point");
+      while (digit()) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digit()) fail("expected exponent digits");
+      while (digit()) ++pos_;
+    }
     const std::string text(s_.substr(start, pos_ - start));
     try {
       std::size_t used = 0;
@@ -238,18 +294,46 @@ CellRecord parse_record(std::string_view line) {
   return r;
 }
 
-std::vector<CellRecord> Journal::load(const std::string& path) {
+std::vector<CellRecord> Journal::load(const std::string& path,
+                                      bool* recovered_torn_tail) {
+  if (recovered_torn_tail) *recovered_torn_tail = false;
   std::vector<CellRecord> records;
-  std::ifstream in(path);
-  if (!in.good()) return records;  // missing file: a fresh campaign
+
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return records;  // missing file: a fresh campaign
+    throw ConfigError("cannot stat journal " + path + ": " +
+                      std::strerror(errno));
+  }
+  // The file exists: from here on every failure is an error.  Treating an
+  // unreadable journal as a fresh campaign would silently recompute (and
+  // then clobber) finished work.
+  if (!S_ISREG(st.st_mode)) {
+    throw ConfigError("journal " + path + " is not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw ConfigError("journal " + path + " exists but cannot be read");
+  }
+
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // getline strips '\n'; a final line that hits EOF first is unterminated
+    // — the only place a kill -9 mid-append can tear.
+    const bool terminated = !in.eof();
     if (line.empty()) continue;
     try {
       records.push_back(parse_record(line));
     } catch (const ConfigError& e) {
+      if (!terminated) {
+        TDFM_LOG(kWarn) << "journal " << path << ": dropping torn final line "
+                        << line_no << " (" << line.size()
+                        << " bytes) — interrupted append";
+        if (recovered_torn_tail) *recovered_torn_tail = true;
+        break;
+      }
       throw ConfigError("journal " + path + " line " + std::to_string(line_no) +
                         ": " + e.what());
     }
@@ -264,8 +348,11 @@ void Journal::adopt(std::vector<CellRecord> records) {
 
 void Journal::append(CellRecord record) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (!path_.empty()) {
+    if (!file_) file_ = std::make_unique<core::AppendFile>(path_);
+    file_->append(to_jsonl(record) + '\n');
+  }
   records_.push_back(std::move(record));
-  if (!path_.empty()) persist_locked();
 }
 
 std::vector<CellRecord> Journal::records() const {
@@ -273,19 +360,54 @@ std::vector<CellRecord> Journal::records() const {
   return records_;
 }
 
-void Journal::persist_locked() const {
-  const std::string tmp = path_ + ".tmp";
+MergeResult merge_journals(const std::vector<std::string>& paths) {
+  MergeResult out;
+  // cell id -> index into out.records; first occurrence wins until a
+  // lexicographically smaller serialisation replaces it.
+  std::unordered_map<std::string, std::size_t> by_cell;
+  for (const std::string& path : paths) {
+    for (CellRecord& r : Journal::load(path)) {
+      ++out.inputs;
+      const auto it = by_cell.find(r.cell);
+      if (it == by_cell.end()) {
+        by_cell.emplace(r.cell, out.records.size());
+        out.records.push_back(std::move(r));
+        continue;
+      }
+      CellRecord& kept = out.records[it->second];
+      if (!equal_modulo_timing(kept, r)) {
+        throw ConfigError("journal merge conflict: cell " + r.cell + " in " +
+                          path + " disagrees with an earlier journal beyond "
+                          "timing fields — the shards did not run the same "
+                          "grid");
+      }
+      ++out.duplicates;
+      // Deterministic representative: the smallest serialisation, so the
+      // merged bytes do not depend on which shard also computed this cell.
+      if (to_jsonl(r) < to_jsonl(kept)) kept = std::move(r);
+    }
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const CellRecord& a, const CellRecord& b) {
+              return a.cell < b.cell;
+            });
+  return out;
+}
+
+void write_journal(const std::string& path,
+                   const std::vector<CellRecord>& records) {
+  const std::string tmp = path + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::trunc);
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
     TDFM_CHECK(out.good(), "cannot open journal tmp file: " + tmp);
-    for (const CellRecord& r : records_) out << to_jsonl(r) << '\n';
+    for (const CellRecord& r : records) out << to_jsonl(r) << '\n';
     out.flush();
     TDFM_CHECK(out.good(), "failed writing journal tmp file: " + tmp);
   }
   // Atomic within a directory on POSIX: readers see the old or the new
   // journal, never a torn one.
-  TDFM_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
-             "failed renaming journal into place: " + path_);
+  TDFM_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "failed renaming journal into place: " + path);
 }
 
 }  // namespace tdfm::study

@@ -1,26 +1,37 @@
-// Crash-safe campaign journal: one JSONL record per completed cell.
+// Crash-safe, append-only campaign journal: one JSONL record per completed
+// cell, safe under concurrent writer *processes*.
 //
-// The journal is what makes a killed 2-hour sweep restartable: every
-// completed cell appends one self-contained JSON line, and an append
-// rewrites the whole journal to `<path>.tmp` and renames it over `<path>`.
-// rename(2) within a directory is atomic on POSIX, so the journal on disk is
-// always a prefix-consistent set of complete records — a crash can lose at
-// most the cell that was being appended, never corrupt earlier lines.
-// (Journals hold one line per grid cell — thousands at paper scale — so the
-// rewrite is microseconds, a rounding error next to a cell's training time.)
+// The journal is what makes a killed 2-hour sweep restartable — and what
+// makes a sharded multi-process sweep mergeable.  Every completed cell
+// appends exactly one self-contained JSON line in a single locked
+// write(2) + fdatasync(2) (core::AppendFile), so:
+//
+//   - appends are O(1) in journal size (no rewrite of earlier records);
+//   - two writers on the same file interleave whole lines, never bytes
+//     (flock(2) around the write);
+//   - a kill -9 can tear at most the final line.  `Journal::load` recovers
+//     that case: an unterminated, unparseable tail is dropped (the at-most-
+//     one in-flight cell), while an unparseable *terminated* line is real
+//     corruption and still throws.
 //
 // On `--resume` the scheduler loads the journal, keeps the records whose
 // cell ids appear in the current expansion, and skips those cells.  Records
 // are self-describing (axis names, not indices), so a journal survives axis
 // reordering and still refuses records from a different grid (the content
-// hash differs).
+// hash differs).  Per-shard journals from a partitioned campaign are fused
+// by `merge_journals`: deduplicated by cell id with an equal-modulo-timing
+// conflict check, ordered by cell id, so the merged bytes do not depend on
+// shard count, shard order, or which duplicate a work-stealer also computed.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/file_lock.hpp"
 
 namespace tdfm::study {
 
@@ -63,22 +74,28 @@ struct CellRecord {
 /// missing required fields; unknown keys are ignored (forward compat).
 [[nodiscard]] CellRecord parse_record(std::string_view line);
 
-/// Append-only journal bound to a file path.  Thread-safe: the scheduler's
-/// job workers append concurrently.  An empty path keeps the journal
-/// memory-only (tests, ephemeral bench runs).
+/// Append-only journal bound to a file path.  Thread-safe within a process
+/// (the scheduler's job workers append concurrently) and write-safe across
+/// processes (each append is one flock-guarded write).  An empty path keeps
+/// the journal memory-only (tests, ephemeral bench runs).
 class Journal {
  public:
   explicit Journal(std::string path) : path_(std::move(path)) {}
 
   /// Loads every record of an existing journal file; a missing file yields
-  /// an empty vector (first run).  Malformed lines throw ConfigError.
-  [[nodiscard]] static std::vector<CellRecord> load(const std::string& path);
+  /// an empty vector (first run), but a file that exists and cannot be read
+  /// throws ConfigError — silently treating it as fresh would recompute a
+  /// finished campaign.  A torn final line (unterminated and unparseable:
+  /// the kill -9 signature) is dropped and reported via
+  /// `recovered_torn_tail`; any other malformed line throws.
+  [[nodiscard]] static std::vector<CellRecord> load(
+      const std::string& path, bool* recovered_torn_tail = nullptr);
 
-  /// Adopts already-completed records (resume) without touching the file;
-  /// the next append persists them together with the new record.
+  /// Adopts records that are already persisted in this journal's file
+  /// (resume): they join the in-memory snapshot without being rewritten.
   void adopt(std::vector<CellRecord> records);
 
-  /// Appends one record and atomically rewrites the journal file.
+  /// Appends one record: O(1) — a single locked write+sync of one line.
   void append(CellRecord record);
 
   /// Snapshot of all records (adopted + appended), in append order.
@@ -87,11 +104,31 @@ class Journal {
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
-  void persist_locked() const;
-
   mutable std::mutex mu_;
   std::string path_;
   std::vector<CellRecord> records_;
+  std::unique_ptr<core::AppendFile> file_;  ///< opened lazily, first append
 };
+
+/// Result of fusing per-shard journals (merge_journals).
+struct MergeResult {
+  /// Deduplicated records ordered by cell id — byte-stable: independent of
+  /// input path order and of which shard(s) computed a duplicated cell.
+  std::vector<CellRecord> records;
+  std::size_t inputs = 0;      ///< records read across all journals
+  std::size_t duplicates = 0;  ///< records dropped as timing-only duplicates
+};
+
+/// Loads every journal (torn tails recovered — a merged shard may have
+/// crashed) and fuses them: records sharing a cell id must be equal modulo
+/// timing, otherwise ConfigError names the conflicting cell; among timing
+/// duplicates the lexicographically-smallest serialisation wins, making the
+/// merged journal a pure function of the set of computed results.
+[[nodiscard]] MergeResult merge_journals(const std::vector<std::string>& paths);
+
+/// Writes `records` as a whole journal file atomically (tmp + rename):
+/// merge output must never be observable half-written.
+void write_journal(const std::string& path,
+                   const std::vector<CellRecord>& records);
 
 }  // namespace tdfm::study

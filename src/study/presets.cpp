@@ -171,7 +171,8 @@ std::vector<Preset> build_presets() {
     spec.seed = 42;
     spec.train_opts.epochs = 10;
     presets.push_back({"paper-full",
-                       "the paper's full factorial grid (overnight; resumable)",
+                       "the paper's full factorial grid (overnight; resumable; "
+                       "made for --spawn N sharding)",
                        std::move(spec)});
   }
   return presets;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "core/error.hpp"
@@ -253,6 +254,50 @@ CellRecord run_cell(const StudySpec& spec, const Cell& cell,
   return rec;
 }
 
+/// Coordination-free work stealing.  An idle shard asks claim_next() for a
+/// grid cell that (a) belongs to another shard, (b) no sibling journal
+/// records yet, and (c) this process has not already claimed.  Sibling
+/// journals are rescanned on every claim — a few KB of file I/O against
+/// seconds of training per cell — so the window for duplicated work is one
+/// in-flight cell per sibling, and duplicates are benign anyway (results
+/// are bit-identical; merge_journals deduplicates).
+class StealController {
+ public:
+  StealController(std::vector<std::size_t> candidates,
+                  std::vector<std::string> siblings,
+                  const std::vector<std::string>& ids)
+      : candidates_(std::move(candidates)),
+        siblings_(std::move(siblings)),
+        ids_(ids) {}
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t claim_next() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& path : siblings_) {
+      try {
+        for (const CellRecord& r : Journal::load(path)) taken_.insert(r.cell);
+      } catch (const Error&) {
+        // Unreadable sibling: scanning is advisory; worst case we recompute
+        // a cell the sibling already has, and the merge keeps one copy.
+      }
+    }
+    while (cursor_ < candidates_.size()) {
+      const std::size_t i = candidates_[cursor_++];
+      if (taken_.insert(ids_[i]).second) return i;
+    }
+    return npos;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::size_t> candidates_;
+  std::vector<std::string> siblings_;
+  const std::vector<std::string>& ids_;
+  std::unordered_set<std::string> taken_;
+  std::size_t cursor_ = 0;
+};
+
 }  // namespace
 
 CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
@@ -261,6 +306,13 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
       options.jobs == 0 ? core::ThreadPool::default_threads() : options.jobs;
   TDFM_CHECK(!options.resume || !options.journal_path.empty(),
              "resume requires a journal path");
+  TDFM_CHECK(options.shard_count >= 1, "shard_count must be >= 1");
+  TDFM_CHECK(options.shard_index < options.shard_count,
+             "shard_index must be in [0, shard_count)");
+  TDFM_CHECK(options.shard_count == 1 || !options.journal_path.empty(),
+             "a sharded run needs a journal — its journal is its output");
+  TDFM_CHECK(!options.work_steal || options.shard_count > 1,
+             "work stealing only makes sense for a sharded run");
 
   obs::Span campaign_span("study:campaign:" + spec.name);
   const std::vector<Cell> cells = expand_cells(spec);
@@ -279,16 +331,20 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
   }
   std::vector<std::optional<CellRecord>> slots(cells.size());
   std::vector<CellRecord> adopted;
-  std::vector<std::size_t> pending;
+  std::vector<std::size_t> pending;  ///< this shard's unjournaled cells
+  std::vector<std::size_t> foreign;  ///< other shards' unjournaled cells
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto it = done.find(ids[i]);
     if (it != done.end()) {
       slots[i] = it->second;
       adopted.push_back(it->second);
-    } else {
+    } else if (shard_of(ids[i], options.shard_count) == options.shard_index) {
       pending.push_back(i);
+    } else {
+      foreign.push_back(i);
     }
   }
+  const std::size_t adopted_count = adopted.size();
   journal.adopt(std::move(adopted));
 
   if (options.shuffle_seed != 0) {
@@ -296,15 +352,29 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
     shuffle_rng.shuffle(pending);
   }
 
+  // Stealing starts each shard at a different point of the foreign list so
+  // simultaneously-idle shards collide on their first claims as little as a
+  // coordination-free scheme allows.
+  std::optional<StealController> steal;
+  const std::size_t stealable = foreign.size();
+  if (options.work_steal && !foreign.empty()) {
+    const std::size_t offset =
+        options.shard_index * foreign.size() / options.shard_count;
+    std::rotate(foreign.begin(), foreign.begin() + static_cast<std::ptrdiff_t>(offset),
+                foreign.end());
+    steal.emplace(std::move(foreign), options.sibling_journals, ids);
+  }
+
   CampaignResult result;
   result.spec = spec;
-  result.skipped = cells.size() - pending.size();
+  result.skipped = adopted_count;
   const DatasetCache::Stats ds_before = DatasetCache::global().stats();
 
   CampaignCaches caches;
   std::mutex counter_mu;
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> stolen{0};
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr first_error;
@@ -315,35 +385,55 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
   const auto worker = [&](bool inline_scope) {
     std::optional<core::ThreadPool::InlineScope> scope;
     if (inline_scope) scope.emplace();
+    const auto run_one = [&](std::size_t i) {
+      const data::DatasetKind kind = spec.datasets[cells[i].dataset];
+      nn::TrainOptions topts = train_options_for(spec, kind);
+      if (inline_scope) topts.threads = 0;
+      CellRecord rec = run_cell(spec, cells[i], ids[i], topts, caches,
+                                result.golden_cache, result.shared_fit_cache,
+                                counter_mu);
+      journal.append(rec);
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (options.on_cell) options.on_cell(rec);
+      slots[i] = std::move(rec);
+    };
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
       if (slot >= pending.size()) break;
-      const std::size_t i = pending[slot];
       try {
-        const data::DatasetKind kind = spec.datasets[cells[i].dataset];
-        nn::TrainOptions topts = train_options_for(spec, kind);
-        if (inline_scope) topts.threads = 0;
-        CellRecord rec = run_cell(spec, cells[i], ids[i], topts, caches,
-                                  result.golden_cache, result.shared_fit_cache,
-                                  counter_mu);
-        journal.append(rec);
-        executed.fetch_add(1, std::memory_order_relaxed);
-        if (options.on_cell) options.on_cell(rec);
-        slots[i] = std::move(rec);
+        run_one(pending[slot]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mu);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
-        break;
+        return;
+      }
+    }
+    // Own shard drained: claim unjournaled cells from sibling shards.
+    while (steal && !failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = steal->claim_next();
+      if (i == StealController::npos) break;
+      try {
+        run_one(i);
+        stolen.fetch_add(1, std::memory_order_relaxed);
+        TDFM_LOG(kInfo) << "shard " << options.shard_index << " stole cell "
+                        << ids[i];
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
       }
     }
   };
 
-  if (jobs <= 1 || pending.size() <= 1) {
+  const std::size_t work_bound =
+      pending.size() + (steal ? stealable : std::size_t{0});
+  if (jobs <= 1 || work_bound <= 1) {
     worker(/*inline_scope=*/false);
   } else {
     std::vector<std::thread> threads;
-    const std::size_t n = std::min(jobs, pending.size());
+    const std::size_t n = std::min(jobs, work_bound);
     threads.reserve(n);
     for (std::size_t t = 0; t < n; ++t) {
       threads.emplace_back(worker, /*inline_scope=*/true);
@@ -353,9 +443,15 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
   if (first_error) std::rethrow_exception(first_error);
 
   result.executed = executed.load();
+  result.stolen = stolen.load();
   result.records.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    TDFM_CHECK(slots[i].has_value(), "campaign finished with an unrun cell");
+    if (!slots[i].has_value()) {
+      // Only another shard's cells may legitimately be missing.
+      TDFM_CHECK(options.shard_count > 1,
+                 "campaign finished with an unrun cell");
+      continue;
+    }
     result.records.push_back(std::move(*slots[i]));
   }
   const DatasetCache::Stats ds_after = DatasetCache::global().stats();

@@ -1,7 +1,10 @@
 // Campaign scheduler: resumable, parallel, order-independent cell execution.
 //
 // run_campaign expands the spec, drops every cell already present in the
-// journal (--resume), and executes the remainder on `jobs` worker threads.
+// journal (--resume), keeps only this shard's partition when sharded
+// (shard_of(cell_id) == shard_index), and executes the remainder on `jobs`
+// worker threads.  Idle sharded workers can optionally steal: rescan the
+// sibling shards' journals and claim any grid cell no journal records yet.
 // Workers pull cells from a shared atomic cursor; because every cell's RNG
 // streams are derived from cell content (spec.hpp), the computed records are
 // bit-identical for any job count, any execution order (--shuffle), and any
@@ -43,6 +46,22 @@ struct RunOptions {
   /// Non-zero: execute pending cells in a shuffled order (determinism is
   /// unaffected — this exists to *prove* that, and to spread cache misses).
   std::uint64_t shuffle_seed = 0;
+  /// Shard partition: this process owns the pending cells with
+  /// shard_of(cell_id, shard_count) == shard_index.  The partition is a pure
+  /// function of cell content, so N processes each given i/N cover the grid
+  /// disjointly with zero coordination.  shard_count > 1 requires a journal
+  /// (the shard's output *is* its journal; merge_journals fuses them).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// After draining its own shard, rescan sibling journals and claim cells
+  /// no journal has recorded yet (an idle shard helps a slow one).  Cells
+  /// in flight elsewhere may be computed twice — harmless: results are
+  /// bit-identical and merge_journals deduplicates.
+  bool work_steal = false;
+  /// Sibling shards' journal paths consulted by work stealing.  Missing
+  /// files read as empty (that shard has not started); unreadable ones are
+  /// skipped for scanning purposes (stealing is advisory, not load-bearing).
+  std::vector<std::string> sibling_journals;
   /// Optional per-completion hook; invoked from worker threads (may run
   /// concurrently — the callee synchronises).
   std::function<void(const CellRecord&)> on_cell;
@@ -55,9 +74,12 @@ struct CacheCounters {
 
 struct CampaignResult {
   StudySpec spec;
-  /// One record per grid cell, in expansion order (resumed + executed).
+  /// Records in expansion order.  One per grid cell for an unsharded run;
+  /// a sharded run covers its own shard's cells (plus journaled and stolen
+  /// ones) — merge_journals + the analyzer reassemble the full grid.
   std::vector<CellRecord> records;
-  std::size_t executed = 0;  ///< cells computed by this run
+  std::size_t executed = 0;  ///< cells computed by this run (incl. stolen)
+  std::size_t stolen = 0;    ///< cells claimed from sibling shards
   std::size_t skipped = 0;   ///< cells taken from the journal
   CacheCounters dataset_cache;     ///< this run's golden-dataset reuse
   CacheCounters golden_cache;      ///< golden-model reuse across cells

@@ -149,6 +149,14 @@ std::string cell_id(const StudySpec& spec, const Cell& cell) {
   return buf;
 }
 
+std::size_t shard_of(std::string_view cell_id, std::size_t shard_count) {
+  if (shard_count == 0) throw ConfigError("shard_count must be >= 1");
+  // Re-hash the (already hashed) id rather than reinterpreting its hex:
+  // callers may pass foreign ids of any shape, and stable_hash64 keeps the
+  // partition platform-independent either way.
+  return stable_hash64(cell_id) % shard_count;
+}
+
 data::SyntheticSpec dataset_spec_for(const StudySpec& spec,
                                      data::DatasetKind kind) {
   data::SyntheticSpec ds;

@@ -100,6 +100,14 @@ struct Cell {
 /// 16-hex-digit cell identity; stable across runs, processes and platforms.
 [[nodiscard]] std::string cell_id(const StudySpec& spec, const Cell& cell);
 
+/// Which of `shard_count` disjoint partitions owns this cell id:
+/// stable_hash64(cell id) % shard_count.  Because the input is the content-
+/// hash id, the partition is stable across runs, processes, and platforms —
+/// N workers agree on ownership with zero coordination.  shard_count == 1
+/// maps everything to shard 0.  Throws ConfigError on shard_count == 0.
+[[nodiscard]] std::size_t shard_of(std::string_view cell_id,
+                                   std::size_t shard_count);
+
 /// The generation spec for one dataset axis entry, with the campaign's scale
 /// and small-dataset tuning applied.  The generation seed is itself derived
 /// from (kind, scale, campaign seed), so cached datasets are shareable

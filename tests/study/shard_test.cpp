@@ -1,0 +1,310 @@
+// Sharded multi-process campaigns: hash partitioning, journal merge,
+// crash-recovery resume, and work stealing (src/study/{spec,journal,runner}).
+//
+// These are the in-process halves of the shard protocol; the process-level
+// half (3 real worker processes + merge == 1 process, byte for byte) runs as
+// the study_shard_smoke ctest via scripts/study_shard_smoke.sh.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "study/study.hpp"
+
+namespace tdfm::study {
+namespace {
+
+/// Seconds-scale grid (same shape as campaign_test's): 6 cells.  `seed`
+/// discriminates dataset-cache entries between tests.
+StudySpec tiny_campaign(std::uint64_t seed) {
+  StudySpec spec;
+  spec.name = "shard-test";
+  spec.datasets = {data::DatasetKind::kPneumoniaSim};
+  spec.models = {models::Arch::kConvNet};
+  spec.fault_levels = {{faults::FaultSpec{faults::FaultType::kMislabelling, 30.0}}};
+  spec.techniques = {mitigation::TechniqueKind::kBaseline,
+                     mitigation::TechniqueKind::kLabelSmoothing,
+                     mitigation::TechniqueKind::kEnsemble};
+  spec.trials = 2;
+  spec.scale = 0.5;
+  spec.model_width = 4;
+  spec.seed = seed;
+  spec.train_opts.epochs = 2;
+  spec.train_opts.batch_size = 16;
+  spec.hyperparams.ens_members = {models::Arch::kConvNet};
+  spec.tune_small_datasets = false;
+  return spec;
+}
+
+std::string temp_journal(const std::string& name) {
+  const std::string path = testing::TempDir() + "tdfm_shard_" + name + ".jsonl";
+  std::remove(path.c_str());
+  return path;
+}
+
+void expect_equal_modulo_timing(const std::vector<CellRecord>& a,
+                                const std::vector<CellRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(equal_modulo_timing(a[i], b[i]))
+        << "cell " << a[i].cell << " differs beyond timing";
+  }
+}
+
+TEST(Shard, PartitionIsCompleteStableAndValidated) {
+  EXPECT_THROW((void)shard_of("abc", 0), ConfigError);
+  EXPECT_EQ(shard_of("anything", 1), 0u);
+  for (int i = 0; i < 100; ++i) {
+    const std::string id = "cell" + std::to_string(i);
+    const std::size_t s = shard_of(id, 7);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, shard_of(id, 7)) << "partition must be deterministic";
+  }
+  // The partition actually spreads (not everything on one shard).
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(shard_of("cell" + std::to_string(i), 7));
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Shard, MergeDeduplicatesAndIsByteStable) {
+  CellRecord a;
+  a.cell = "aaaaaaaaaaaaaaaa";
+  a.ad = 0.25;
+  CellRecord b = a;
+  b.cell = "bbbbbbbbbbbbbbbb";
+  CellRecord c = a;
+  c.cell = "cccccccccccccccc";
+  CellRecord a_retimed = a;  // a computed twice (work stealing): timing-only
+  a_retimed.train_seconds = 99.0;
+
+  const std::string j1 = temp_journal("merge1");
+  const std::string j2 = temp_journal("merge2");
+  write_journal(j1, {b, a});
+  write_journal(j2, {a_retimed, c});
+
+  const MergeResult forward = merge_journals({j1, j2});
+  EXPECT_EQ(forward.inputs, 4u);
+  EXPECT_EQ(forward.duplicates, 1u);
+  ASSERT_EQ(forward.records.size(), 3u);
+  // Ordered by cell id, independent of journal order and count.
+  EXPECT_EQ(forward.records[0].cell, a.cell);
+  EXPECT_EQ(forward.records[1].cell, b.cell);
+  EXPECT_EQ(forward.records[2].cell, c.cell);
+
+  const MergeResult reverse = merge_journals({j2, j1});
+  EXPECT_EQ(forward.records, reverse.records)
+      << "merge must be a pure function of the record set";
+
+  // And the serialised journal is byte-identical either way.
+  const std::string out1 = temp_journal("merge_out1");
+  const std::string out2 = temp_journal("merge_out2");
+  write_journal(out1, forward.records);
+  write_journal(out2, reverse.records);
+  std::ifstream f1(out1, std::ios::binary), f2(out2, std::ios::binary);
+  const std::string bytes1((std::istreambuf_iterator<char>(f1)), {});
+  const std::string bytes2((std::istreambuf_iterator<char>(f2)), {});
+  EXPECT_EQ(bytes1, bytes2);
+  for (const auto& p : {j1, j2, out1, out2}) std::remove(p.c_str());
+}
+
+TEST(Shard, MergeMissingJournalReadsAsEmpty) {
+  // A shard that owned zero cells never creates its journal file.
+  CellRecord a;
+  a.cell = "aaaaaaaaaaaaaaaa";
+  const std::string j1 = temp_journal("merge_present");
+  write_journal(j1, {a});
+  const MergeResult merged =
+      merge_journals({j1, temp_journal("merge_never_written")});
+  EXPECT_EQ(merged.records.size(), 1u);
+  std::remove(j1.c_str());
+}
+
+TEST(Shard, MergeConflictBeyondTimingThrows) {
+  CellRecord a;
+  a.cell = "aaaaaaaaaaaaaaaa";
+  a.ad = 0.25;
+  CellRecord a_conflict = a;
+  a_conflict.ad = 0.5;  // same cell id, different computed bits: a real bug
+  const std::string j1 = temp_journal("conflict1");
+  const std::string j2 = temp_journal("conflict2");
+  write_journal(j1, {a});
+  write_journal(j2, {a_conflict});
+  try {
+    (void)merge_journals({j1, j2});
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(a.cell), std::string::npos)
+        << "the conflict message names the cell";
+  }
+  std::remove(j1.c_str());
+  std::remove(j2.c_str());
+}
+
+// Tentpole: N shard runs cover the grid disjointly, and merging their
+// journals reproduces the single-process campaign — records equal modulo
+// timing, analyzer report byte-identical.
+TEST(Shard, ThreeShardsMergeToTheSingleProcessResult) {
+  const StudySpec spec = tiny_campaign(601);
+  RunOptions single;
+  single.jobs = 2;
+  const CampaignResult base = run_campaign(spec, single);
+  ASSERT_EQ(base.records.size(), spec.cell_count());
+
+  constexpr std::size_t kShards = 3;
+  std::vector<std::string> paths;
+  std::size_t executed_total = 0;
+  std::set<std::string> covered;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    paths.push_back(temp_journal("grid_shard" + std::to_string(i)));
+    RunOptions shard;
+    shard.jobs = 2;
+    shard.journal_path = paths.back();
+    shard.shard_index = i;
+    shard.shard_count = kShards;
+    const CampaignResult part = run_campaign(spec, shard);
+    executed_total += part.executed;
+    EXPECT_EQ(part.stolen, 0u);
+    for (const CellRecord& r : part.records) {
+      EXPECT_EQ(shard_of(r.cell, kShards), i)
+          << "a shard must only compute its own cells";
+      EXPECT_TRUE(covered.insert(r.cell).second)
+          << "shards overlapped on cell " << r.cell;
+    }
+  }
+  EXPECT_EQ(executed_total, spec.cell_count());
+  EXPECT_EQ(covered.size(), spec.cell_count());
+
+  const MergeResult merged = merge_journals(paths);
+  EXPECT_EQ(merged.duplicates, 0u);
+  ASSERT_EQ(merged.records.size(), spec.cell_count());
+
+  // Reassemble in expansion order (what study_runner's reporting does) and
+  // compare against the single-process run: same records modulo timing,
+  // byte-identical analyzer report.
+  std::map<std::string, std::size_t> expansion_rank;
+  const auto cells = expand_cells(spec);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expansion_rank.emplace(cell_id(spec, cells[i]), i);
+  }
+  std::vector<CellRecord> merged_sorted = merged.records;
+  std::sort(merged_sorted.begin(), merged_sorted.end(),
+            [&](const CellRecord& x, const CellRecord& y) {
+              return expansion_rank.at(x.cell) < expansion_rank.at(y.cell);
+            });
+  expect_equal_modulo_timing(base.records, merged_sorted);
+  EXPECT_EQ(render_csv(summarize_campaign(base.records)),
+            render_csv(summarize_campaign(merged_sorted)));
+
+  for (const auto& p : paths) std::remove(p.c_str());
+}
+
+// Tentpole acceptance: a journal whose tail was torn by a kill -9 resumes
+// losing at most the one in-flight cell.
+TEST(Shard, TruncatedTailResumeLosesAtMostOneCell) {
+  const StudySpec spec = tiny_campaign(602);
+  const std::string path = temp_journal("truncated");
+  RunOptions run;
+  run.jobs = 1;
+  run.journal_path = path;
+  const CampaignResult full = run_campaign(spec, run);
+  ASSERT_EQ(full.executed, spec.cell_count());
+
+  // Tear the final record mid-line, as an interrupted append would.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::size_t last_line_start = bytes.rfind('\n', bytes.size() - 2) + 1;
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << bytes.substr(0, last_line_start + 40);  // torn: mid-record, no \n
+  }
+
+  RunOptions resume = run;
+  resume.resume = true;
+  const CampaignResult resumed = run_campaign(spec, resume);
+  EXPECT_EQ(resumed.skipped, spec.cell_count() - 1)
+      << "every fully-journaled cell survives the torn tail";
+  EXPECT_EQ(resumed.executed, 1u) << "only the torn cell is recomputed";
+  expect_equal_modulo_timing(full.records, resumed.records);
+  std::remove(path.c_str());
+}
+
+// Work stealing: an idle shard picks up grid cells no sibling journal has
+// recorded.  Sibling cells already journaled are respected; everything else
+// is claimed, so one surviving shard can finish the whole grid.
+TEST(Shard, WorkStealingClaimsOnlyUnjournaledCells) {
+  const StudySpec spec = tiny_campaign(603);
+  constexpr std::size_t kShards = 3;
+
+  // Seed 603 was picked so every shard owns at least one cell (the
+  // partition is a pure function of cell content, so this is stable).
+  std::vector<std::size_t> owned(kShards, 0);
+  for (const Cell& c : expand_cells(spec)) {
+    ++owned[shard_of(cell_id(spec, c), kShards)];
+  }
+  for (std::size_t i = 0; i < kShards; ++i) {
+    ASSERT_GT(owned[i], 0u) << "pick a different spec seed";
+  }
+
+  // Shard 1 runs normally first (its journal exists and is complete).
+  const std::string j1 = temp_journal("steal_s1");
+  RunOptions shard1;
+  shard1.jobs = 1;
+  shard1.journal_path = j1;
+  shard1.shard_index = 1;
+  shard1.shard_count = kShards;
+  const CampaignResult r1 = run_campaign(spec, shard1);
+
+  // Shard 0 then runs with stealing: it must compute its own cells plus
+  // shard 2's (never started), and must NOT recompute shard 1's.
+  const std::string j0 = temp_journal("steal_s0");
+  RunOptions shard0 = shard1;
+  shard0.journal_path = j0;
+  shard0.shard_index = 0;
+  shard0.work_steal = true;
+  shard0.sibling_journals = {j1, temp_journal("steal_s2_never_started")};
+  const CampaignResult r0 = run_campaign(spec, shard0);
+
+  EXPECT_EQ(r1.executed, owned[1]);
+  EXPECT_EQ(r0.stolen, owned[2]) << "exactly shard 2's cells get stolen";
+  EXPECT_EQ(r0.executed, owned[0] + owned[2]);
+  for (const CellRecord& r : r0.records) {
+    EXPECT_NE(shard_of(r.cell, kShards), 1u)
+        << "stealing recomputed a cell shard 1 already journaled";
+  }
+
+  // The two journals merge into the full grid.
+  const MergeResult merged = merge_journals({j0, j1});
+  EXPECT_EQ(merged.records.size(), spec.cell_count());
+  EXPECT_EQ(merged.duplicates, 0u);
+  std::remove(j0.c_str());
+  std::remove(j1.c_str());
+}
+
+TEST(Shard, InvalidShardOptionsThrow) {
+  const StudySpec spec = tiny_campaign(604);
+  RunOptions bad;
+  bad.shard_count = 3;
+  bad.shard_index = 3;
+  bad.journal_path = temp_journal("invalid");
+  EXPECT_THROW((void)run_campaign(spec, bad), InvariantError);
+  bad.shard_index = 0;
+  bad.journal_path.clear();
+  EXPECT_THROW((void)run_campaign(spec, bad), InvariantError)
+      << "a sharded run without a journal has no output";
+  RunOptions steal_unsharded;
+  steal_unsharded.work_steal = true;
+  EXPECT_THROW((void)run_campaign(spec, steal_unsharded), InvariantError);
+}
+
+}  // namespace
+}  // namespace tdfm::study
