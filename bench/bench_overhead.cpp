@@ -85,9 +85,10 @@ void print_thread_sweep(const tdfm::bench::BenchSettings& s, tdfm::models::Arch 
 
 // Measures the cost of the obs instrumentation itself (ISSUE: disabled path
 // must stay <2% of training time).  Three layers:
-//   1. micro: ns per disabled Counter::add (one relaxed load + branch);
+//   1. micro: ns per disabled Counter::add and per disabled/enabled
+//      flight::record (the two checks that sit on hot paths);
 //   2. macro: the same small training run with obs off / metrics on /
-//      metrics+trace on;
+//      metrics+trace on / flight recorder on / snapshot exporter live;
 //   3. estimate: instrumentation checks per run (GEMM calls dominate) times
 //      the micro cost, as a fraction of the uninstrumented run.
 void print_obs_overhead(const tdfm::bench::BenchSettings& s,
@@ -97,6 +98,7 @@ void print_obs_overhead(const tdfm::bench::BenchSettings& s,
   const bool trace_was_on = obs::trace_enabled();
   obs::set_metrics_enabled(false);
   obs::set_trace_enabled(false);
+  obs::flight::set_enabled(false);
 
   obs::Counter probe = obs::Registry::global().counter("bench.obs_probe");
   constexpr std::size_t kIters = 50'000'000;
@@ -104,6 +106,25 @@ void print_obs_overhead(const tdfm::bench::BenchSettings& s,
   for (std::size_t i = 0; i < kIters; ++i) probe.add(1);
   const double ns_per_check =
       micro_watch.elapsed_seconds() * 1e9 / static_cast<double>(kIters);
+
+  // Flight recorder: the disabled path is the same shape (relaxed load +
+  // branch); the enabled path is a few stores into this thread's own ring.
+  obs::Stopwatch flight_off_watch;
+  for (std::size_t i = 0; i < kIters; ++i) {
+    obs::flight::record(obs::flight::EventKind::kCellBegin, "probe");
+  }
+  const double flight_off_ns =
+      flight_off_watch.elapsed_seconds() * 1e9 / static_cast<double>(kIters);
+  obs::flight::set_enabled(true);
+  constexpr std::size_t kFlightIters = 5'000'000;
+  obs::Stopwatch flight_on_watch;
+  for (std::size_t i = 0; i < kFlightIters; ++i) {
+    obs::flight::record(obs::flight::EventKind::kCellBegin, "probe");
+  }
+  const double flight_on_ns =
+      flight_on_watch.elapsed_seconds() * 1e9 /
+      static_cast<double>(kFlightIters);
+  obs::flight::set_enabled(false);
 
   MicroTrain micro(s, model);
   const double off_s = micro.run_once();
@@ -117,30 +138,60 @@ void print_obs_overhead(const tdfm::bench::BenchSettings& s,
       obs::Registry::global().counter("conv.images").value());
   obs::set_trace_enabled(true);
   const double trace_s = micro.run_once();
+  obs::set_trace_enabled(false);
+  // Flight recorder armed: every Span begin/end also drops a ring entry.
+  obs::flight::set_enabled(true);
+  const double flight_s = micro.run_once();
+  obs::flight::set_enabled(false);
+  // Live snapshot exporter scraping alongside the run (the --spawn worker
+  // configuration): a background thread, not a hot-path tax.
+  double exporter_s;
+  {
+    obs::SnapshotExporter exporter;
+    obs::ExporterOptions eopts;
+    eopts.dir = "bench_overhead.obs";
+    eopts.label = "bench_overhead";
+    eopts.interval_ms = 100;
+    exporter.start(std::move(eopts));
+    exporter_s = micro.run_once();
+  }
 
   obs::set_metrics_enabled(metrics_was_on);
   obs::set_trace_enabled(trace_was_on);
   if (!trace_was_on) obs::clear_trace_events();
 
   const double est_disabled_pct =
-      off_s > 0.0 ? checks * ns_per_check * 1e-9 / off_s * 100.0 : 0.0;
+      off_s > 0.0
+          ? checks * (ns_per_check + flight_off_ns) * 1e-9 / off_s * 100.0
+          : 0.0;
   AsciiTable table({"configuration", "train s", "vs off"});
+  const auto ratio = [&](double seconds) {
+    return fixed(off_s > 0 ? seconds / off_s : 0.0, 2) + "x";
+  };
   table.add_row({"obs off", fixed(off_s, 3), "1.00x"});
-  table.add_row({"metrics on", fixed(metrics_s, 3),
-                 fixed(off_s > 0 ? metrics_s / off_s : 0.0, 2) + "x"});
-  table.add_row({"metrics + trace on", fixed(trace_s, 3),
-                 fixed(off_s > 0 ? trace_s / off_s : 0.0, 2) + "x"});
+  table.add_row({"metrics on", fixed(metrics_s, 3), ratio(metrics_s)});
+  table.add_row({"metrics + trace on", fixed(trace_s, 3), ratio(trace_s)});
+  table.add_row({"metrics + flight recorder", fixed(flight_s, 3),
+                 ratio(flight_s)});
+  table.add_row({"metrics + snapshot exporter", fixed(exporter_s, 3),
+                 ratio(exporter_s)});
   std::cout << "\nobs instrumentation overhead (" << models::arch_name(model)
             << ", GTSRB-sim, 2 epochs):\n"
-            << table.render() << "disabled check: " << fixed(ns_per_check, 2)
-            << " ns/op; ~" << fixed(checks, 0)
+            << table.render() << "disabled checks: counter "
+            << fixed(ns_per_check, 2) << " ns/op, flight "
+            << fixed(flight_off_ns, 2) << " ns/op (enabled "
+            << fixed(flight_on_ns, 1) << " ns/op); ~" << fixed(checks, 0)
             << " checks per run -> estimated disabled-path overhead "
             << fixed(est_disabled_pct, 3) << "% (target <2%)\n";
 
   json.add("obs.disabled_check_ns", ns_per_check);
+  json.add("obs.flight_disabled_check_ns", flight_off_ns);
+  json.add("obs.flight_record_ns", flight_on_ns);
   json.add("obs.train_off_seconds", off_s);
   json.add("obs.train_metrics_seconds", metrics_s);
   json.add("obs.train_trace_seconds", trace_s);
+  json.add("obs.train_flight_seconds", flight_s);
+  json.add("obs.train_exporter_seconds", exporter_s);
   json.add("obs.est_disabled_overhead_pct", est_disabled_pct);
 }
 

@@ -205,7 +205,14 @@ int run(int argc, char** argv) {
     pool.push_back(slice_sample(dataset.test.images, i));
   }
 
-  // 2. Sweep micro-batch configurations against the same checkpoint.
+  // 2. Sweep micro-batch configurations against the same checkpoint.  The
+  // engine's own serve.{queue_wait,compute}_us histograms are snapshotted
+  // per configuration and folded with obs::Aggregator afterwards — the same
+  // snapshot/merge path the multi-process campaign plane uses, exercised
+  // here in-process so --json carries histogram-estimated percentiles next
+  // to the exact sample-based ones.
+  obs::set_metrics_enabled(true);
+  std::vector<obs::MetricsSnapshot> sweep_snapshots;
   BenchJson json("serving", settings);
   json.add("weights", std::string(quantize ? "q8_0" : "fp32"));
   AsciiTable table({"max_batch", "throughput rps", "p50 us", "p95 us", "p99 us",
@@ -234,6 +241,7 @@ int run(int argc, char** argv) {
     if (load.warmup_s > 0.0) {
       (void)run_load(engine, pool, load.warmup_s, load.rate_rps, false);
     }
+    obs::Registry::global().reset_values();  // measured window only
     LoadResult res = run_load(engine, pool, load.duration_s, load.rate_rps, true);
     std::sort(res.latency_us.begin(), res.latency_us.end());
     const double rps = static_cast<double>(res.ok) / res.elapsed_s;
@@ -256,8 +264,35 @@ int run(int argc, char** argv) {
       best_batched_rps = rps;
       best_batched = max_batch;
     }
+    obs::SnapshotMeta meta;
+    meta.seq = sweep_snapshots.size() + 1;
+    meta.label = "max_batch=" + std::to_string(max_batch);
+    sweep_snapshots.push_back(obs::collect_snapshot(std::move(meta)));
   }
   std::cout << "\n" << table.render() << "\n";
+
+  // Fold the per-config snapshots and report histogram-estimated latency
+  // quantiles across the whole sweep (counters sum, buckets sum — exactly
+  // what a --progress driver sees across shard processes).
+  obs::Aggregator agg;
+  for (const obs::MetricsSnapshot& s : sweep_snapshots) agg.add(s);
+  for (const obs::MetricSample& sample : agg.samples()) {
+    if (sample.kind != obs::MetricSample::Kind::kHistogram) continue;
+    if (sample.name != "serve.queue_wait_us" &&
+        sample.name != "serve.compute_us") {
+      continue;
+    }
+    const double h50 = obs::histogram_quantile(sample, 0.50);
+    const double h95 = obs::histogram_quantile(sample, 0.95);
+    const double h99 = obs::histogram_quantile(sample, 0.99);
+    std::cout << sample.name << " (aggregated histogram, " << sample.count
+              << " obs): p50 ~" << fixed(h50, 0) << "us p95 ~" << fixed(h95, 0)
+              << "us p99 ~" << fixed(h99, 0) << "us\n";
+    json.add(sample.name + ".hist_p50_us", h50);
+    json.add(sample.name + ".hist_p95_us", h95);
+    json.add(sample.name + ".hist_p99_us", h99);
+    json.add(sample.name + ".hist_count", static_cast<double>(sample.count));
+  }
 
   if (single_rps > 0.0 && best_batched > 0) {
     const double speedup = best_batched_rps / single_rps;

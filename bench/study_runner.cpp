@@ -17,7 +17,7 @@
 //   study_runner --preset fig4 --shard 0/3 --journal fig4.s0.jsonl   # 3 shells
 //   study_runner --preset fig4 --shard 1/3 --journal fig4.s1.jsonl   # ...
 //   study_runner --preset fig4 --shard 2/3 --journal fig4.s2.jsonl
-//   study_runner --merge fig4.s0.jsonl,fig4.s1.jsonl,fig4.s2.jsonl \
+//   study_runner --merge fig4.s0.jsonl,fig4.s1.jsonl,fig4.s2.jsonl
 //                --journal fig4.jsonl               # fuse + dedup + report
 //
 //   study_runner --preset fig4 --spawn 3 --journal fig4.jsonl        # or: one
@@ -26,13 +26,29 @@
 // Reports exclude wall-clock timings by default, so a resumed, sharded, or
 // merged run's report is byte-identical to an uninterrupted single-process
 // one at any --jobs value; pass --timings true for the §IV-E overhead view.
+//
+// The observability plane rides along without perturbing any of that:
+//
+//   study_runner --preset fig4 --spawn 3 --journal fig4.jsonl
+//                --progress true --trace fig4.trace.json --flight true
+//
+// renders a live fleet status line (per-shard throughput, ETA, cache hit
+// rates), merges the per-shard Chrome traces into one timeline spanning all
+// shards, and — should a worker crash — leaves its flight recorder at
+// <journal>.obs/crash-<pid>.json naming the cell it died in.  The plane is
+// strictly read-only over campaign state: journal bytes and reports are
+// identical with it on or off.
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "bench_common.hpp"
 #include "core/process.hpp"
+#include "study/progress.hpp"
 
 namespace {
 
@@ -109,6 +125,35 @@ void sort_by_expansion(std::vector<study::CellRecord>& records,
                    });
 }
 
+/// Per-shard trace path, derived from the shard journal path the same way
+/// the --spawn driver derives everything else.
+std::string shard_trace_path(const std::string& shard_journal) {
+  return shard_journal + ".trace.json";
+}
+
+/// Fuses the per-shard Chrome traces next to `shard_paths` into `out_path`
+/// (used by both --spawn and --merge when --trace names an output).
+void merge_shard_traces(const std::vector<std::string>& shard_paths,
+                        const std::string& out_path) {
+  std::vector<std::string> traces;
+  traces.reserve(shard_paths.size());
+  for (const std::string& p : shard_paths) traces.push_back(shard_trace_path(p));
+  const obs::TraceMergeResult tm = obs::merge_chrome_traces(traces, out_path);
+  std::cerr << "merged " << tm.inputs << " shard traces: " << tm.events
+            << " events (" << tm.skipped_lines << " torn lines dropped, "
+            << tm.missing << " files missing) -> " << out_path << "\n";
+}
+
+/// One aggregation pass over the plane directory.
+obs::Aggregator aggregate_snapshot_dir(const std::string& dir,
+                                       std::size_t* skipped = nullptr) {
+  const obs::SnapshotScan scan = obs::read_snapshot_dir(dir);
+  obs::Aggregator agg;
+  for (const obs::MetricsSnapshot& s : scan.snapshots) agg.add(s);
+  if (skipped) *skipped = scan.skipped;
+  return agg;
+}
+
 std::string render_report(const study::CampaignSummary& summary,
                           const std::string& format,
                           const study::ReportOptions& opts) {
@@ -151,6 +196,28 @@ int main(int argc, char** argv) try {
                "(--spawn fills this in automatically)");
   cli.add_flag("shuffle", "0",
                "non-zero: run pending cells in this seed's shuffled order");
+  cli.add_flag("progress", "false",
+               "driver mode (--spawn): render a live aggregated status line "
+               "on stderr from the shards' metric snapshots; strictly "
+               "read-only (journal and report bytes are unchanged)");
+  cli.add_flag("obs-dir", "",
+               "observability-plane directory for metric snapshots and crash "
+               "dumps (default: <journal>.obs when --progress, --flight, or "
+               "--obs-report need one)");
+  cli.add_flag("obs-interval-ms", "500",
+               "metric-snapshot export period for campaign workers");
+  cli.add_flag("flight", "false",
+               "arm the in-memory flight recorder; SIGSEGV/SIGABRT/SIGBUS "
+               "dump it to <obs-dir>/crash-<pid>.json");
+  cli.add_flag("abort-after-cells", "0",
+               "crash drill: SIGABRT after beginning the Nth cell (tests "
+               "the flight recorder's crash dump; 0 = off)");
+  cli.add_flag("obs-report", "false",
+               "aggregate the snapshots in --obs-dir (or <journal>.obs) and "
+               "print the merged snapshot as JSON lines; runs nothing");
+  cli.add_flag("validate-json", "",
+               "strictly parse this file as JSON and exit 0/1 (tooling "
+               "helper for scripts; runs nothing)");
   cli.add_flag("report", "ascii", "report format: ascii|markdown|csv|json|none");
   cli.add_flag("timings", "false",
                "include wall-clock columns (breaks byte-identity across runs)");
@@ -180,7 +247,56 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
+  // Tooling helper: strict RFC 8259 validation with the repo's own parser,
+  // so scripts need no external JSON tooling to check merged traces and
+  // crash dumps.
+  if (!cli.get_string("validate-json").empty()) {
+    const std::string path = cli.get_string("validate-json");
+    std::ifstream in(path, std::ios::binary);
+    TDFM_CHECK(in.good(), "cannot open --validate-json file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (obs::json_valid(buf.str())) {
+      std::cout << path << ": valid JSON\n";
+      return 0;
+    }
+    std::cerr << path << ": invalid JSON\n";
+    return 1;
+  }
+
   const std::string journal_path = cli.get_string("journal");
+  const bool progress = cli.get_bool("progress");
+  const bool flight = cli.get_bool("flight");
+  std::string obs_dir = cli.get_string("obs-dir");
+  if (obs_dir.empty() && !journal_path.empty() &&
+      (progress || flight || cli.get_bool("obs-report"))) {
+    obs_dir = journal_path + ".obs";
+  }
+
+  // Observer mode: fold the plane directory and print the aggregate.  The
+  // merged counters are the sums of the per-shard counters, which is what
+  // the smoke script asserts.
+  if (cli.get_bool("obs-report")) {
+    TDFM_CHECK(!obs_dir.empty(), "--obs-report needs --obs-dir or --journal");
+    std::size_t skipped = 0;
+    const obs::Aggregator agg = aggregate_snapshot_dir(obs_dir, &skipped);
+    const study::ProgressSummary p = study::summarize_progress(agg);
+    obs::MetricsSnapshot merged;
+    merged.meta.label = "aggregate of " +
+                        std::to_string(agg.sources().size()) + " snapshots";
+    merged.meta.shard_count = p.shards == 0 ? 1 : p.shards;
+    merged.meta.grid_cells = p.grid_cells;
+    merged.meta.cells_done = p.done;
+    merged.meta.cells_executed = p.executed;
+    merged.meta.cells_stolen = p.stolen;
+    merged.samples = agg.samples();
+    deliver(obs::serialize_snapshot(merged), cli.get_string("out"));
+    std::cerr << study::render_progress_line(p)
+              << (skipped ? " | " + std::to_string(skipped) + " torn" : "")
+              << "\n";
+    return 0;
+  }
+
   study::ReportOptions report_opts;
   report_opts.include_timings = cli.get_bool("timings");
   const std::string format = cli.get_string("report");
@@ -221,6 +337,14 @@ int main(int argc, char** argv) try {
               << merged.inputs << " records in, " << merged.records.size()
               << " unique cells out (" << merged.duplicates
               << " timing-duplicates dropped) -> " << journal_path << "\n";
+    if (!cli.get_string("trace").empty()) {
+      // The merge itself is not traced: cancel our own at-exit trace write
+      // so it cannot clobber the merged timeline.
+      const std::string trace_path = cli.get_string("trace");
+      obs::set_trace_enabled(false);
+      obs::set_trace_output("");
+      merge_shard_traces(shard_paths, trace_path);
+    }
     if (format != "none") {
       sort_by_expansion(merged.records, spec);
       const auto summary = study::summarize_campaign(merged.records);
@@ -253,6 +377,13 @@ int main(int argc, char** argv) try {
       shard_paths[i] = shard_journal_path(journal_path, i, spawn);
     }
     const bool steal = cli.get_bool("steal");
+    const std::string trace_path = cli.get_string("trace");
+    if (!trace_path.empty()) {
+      // The shards trace; the driver only merges.  Cancel the driver's own
+      // at-exit trace write so it cannot clobber the merged timeline.
+      obs::set_trace_enabled(false);
+      obs::set_trace_output("");
+    }
     std::vector<pid_t> pids(spawn);
     for (std::size_t i = 0; i < spawn; ++i) {
       std::vector<std::string> child = {argv[0],
@@ -282,16 +413,46 @@ int main(int argc, char** argv) try {
         child.insert(child.end(),
                      {"--steal", "true", "--siblings", siblings});
       }
+      if (!obs_dir.empty()) {
+        child.insert(child.end(),
+                     {"--obs-dir", obs_dir, "--obs-interval-ms",
+                      cli.get_string("obs-interval-ms")});
+      }
+      if (flight) child.insert(child.end(), {"--flight", "true"});
+      if (!trace_path.empty()) {
+        child.insert(child.end(), {"--trace", shard_trace_path(shard_paths[i])});
+      }
       pids[i] = core::spawn_process(child);
     }
+    // Poll the fleet instead of blocking per child, so --progress can fold
+    // the plane directory between checks and render a live status line.
     std::string failures;
-    for (std::size_t i = 0; i < spawn; ++i) {
-      const core::ProcessExit exit = core::wait_process(pids[i]);
-      if (!exit.ok()) {
-        failures += (failures.empty() ? "" : ", ") + std::string("shard ") +
-                    std::to_string(i) + ": " + exit.describe();
+    std::vector<bool> exited(spawn, false);
+    std::size_t live = spawn;
+    std::size_t last_len = 0;
+    while (live > 0) {
+      for (std::size_t i = 0; i < spawn; ++i) {
+        if (exited[i]) continue;
+        core::ProcessExit exit;
+        if (!core::try_wait_process(pids[i], &exit)) continue;
+        exited[i] = true;
+        --live;
+        if (!exit.ok()) {
+          failures += (failures.empty() ? "" : ", ") + std::string("shard ") +
+                      std::to_string(i) + ": " + exit.describe();
+        }
       }
+      if (progress) {
+        std::string line = study::render_progress_line(
+            study::summarize_progress(aggregate_snapshot_dir(obs_dir)));
+        const std::size_t len = line.size();
+        if (len < last_len) line.append(last_len - len, ' ');  // erase tail
+        last_len = len;
+        std::cerr << '\r' << line << std::flush;
+      }
+      if (live > 0) std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
+    if (progress) std::cerr << '\n';
     // Completed shards keep their journals either way: a rerun with
     // --resume true recomputes only what is missing.
     TDFM_CHECK(failures.empty(), "shard workers failed (" + failures +
@@ -302,6 +463,7 @@ int main(int argc, char** argv) try {
               << merged.inputs << " records into " << merged.records.size()
               << " unique cells (" << merged.duplicates
               << " timing-duplicates) -> " << journal_path << "\n";
+    if (!trace_path.empty()) merge_shard_traces(shard_paths, trace_path);
     if (format != "none") {
       sort_by_expansion(merged.records, spec);
       const auto summary = study::summarize_campaign(merged.records);
@@ -319,6 +481,27 @@ int main(int argc, char** argv) try {
   parse_shard(cli.get_string("shard"), &run.shard_index, &run.shard_count);
   run.work_steal = cli.get_bool("steal");
   run.sibling_journals = split_csv(cli.get_string("siblings"));
+  run.obs_dir = obs_dir;
+  run.obs_interval_ms = cli.get_int("obs-interval-ms");
+  run.abort_after_cells = cli.get_u64("abort-after-cells");
+
+  // Sharded workers qualify everything they emit: log lines get a
+  // "[shard i/N]" prefix, trace events a process_name row, snapshots and
+  // crash dumps a label — so merged views stay attributable.
+  const std::string shard_label =
+      run.shard_count > 1
+          ? "shard " + std::to_string(run.shard_index) + "/" +
+                std::to_string(run.shard_count)
+          : "";
+  if (!shard_label.empty()) {
+    set_log_prefix("[" + shard_label + "] ");
+    obs::set_trace_process(0, shard_label);
+  }
+  if (flight) {
+    obs::flight::install_crash_handler(
+        obs_dir.empty() ? std::string(".") : obs_dir,
+        shard_label.empty() ? spec.name : shard_label);
+  }
 
   std::cerr << "campaign '" << spec.name << "': " << spec.cell_count()
             << " cells, jobs=" << run.jobs

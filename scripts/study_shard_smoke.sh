@@ -12,6 +12,15 @@
 #      record set — shard order must not matter).
 #   3. A torn journal tail (simulated kill -9 during an append) resumes:
 #      the rerun recomputes only the torn cell and the report is unchanged.
+#   4. The observability plane (--progress/--flight/--trace/snapshots) is
+#      read-only: with every feature on, the report is byte-identical and
+#      the merged Chrome trace is one valid JSON document naming all shards.
+#   5. `--obs-report` aggregation: the merged executed-cells counter equals
+#      the sum of the per-shard snapshot counters.
+#   6. A torn half-snapshot (kill -9 mid-export) is skipped with a warning,
+#      never corrupts the aggregate, and the journal stays resumable.
+#   7. A worker SIGABRTing mid-cell leaves a parseable crash-<pid>.json
+#      naming the in-flight cell, and its journal resumes cleanly.
 set -euo pipefail
 
 RUNNER=${1:?usage: study_shard_smoke.sh <study_runner> [workdir]}
@@ -48,5 +57,67 @@ grep -q "executed 1 cells" "$WORK/recovered.log" \
        cat "$WORK/recovered.log"; exit 1; }
 diff "$WORK/single.csv" "$WORK/recovered.csv" \
   || { echo "FAIL: torn-tail recovery changed the report"; exit 1; }
+
+# --- 4. the observability plane is read-only --------------------------------
+# The same spawn run with every plane feature on — live progress, per-shard
+# traces merged at the end, periodic snapshots, flight recorder — must
+# render the byte-identical report.
+run --spawn 3 --jobs 1 --journal "$WORK/obs.jsonl" \
+    --progress true --flight true --trace "$WORK/obs.trace.json" \
+    --report csv --out "$WORK/obs.csv" 2> "$WORK/obs.log"
+diff "$WORK/single.csv" "$WORK/obs.csv" \
+  || { echo "FAIL: observability plane changed the report"; exit 1; }
+"$RUNNER" --validate-json "$WORK/obs.trace.json" > /dev/null \
+  || { echo "FAIL: merged trace is not valid JSON"; exit 1; }
+for s in 0 1 2; do
+  grep -q "shard $s/3" "$WORK/obs.trace.json" \
+    || { echo "FAIL: merged trace is missing shard $s/3"; exit 1; }
+done
+
+# --- 5. aggregated counters are the sums of the per-shard counters ----------
+count() {
+  sed -n 's/.*"name":"study.cells.executed","value":\([0-9]*\).*/\1/p' "$1"
+}
+shard_sum=0
+for f in "$WORK"/obs.jsonl.obs/metrics-*.jsonl; do
+  c=$(count "$f")
+  shard_sum=$((shard_sum + ${c:-0}))
+done
+run --obs-report true --journal "$WORK/obs.jsonl" \
+    --out "$WORK/obs-agg.jsonl" 2> "$WORK/obs-agg.log"
+agg=$(count "$WORK/obs-agg.jsonl")
+[ "${agg:-x}" = "$shard_sum" ] \
+  || { echo "FAIL: aggregate executed=$agg != per-shard sum $shard_sum"; exit 1; }
+
+# --- 6. a torn snapshot (kill -9 mid-export) never corrupts the plane -------
+printf '{"type":"snapsh' > "$WORK/obs.jsonl.obs/metrics-99999.jsonl"
+run --obs-report true --journal "$WORK/obs.jsonl" \
+    --out "$WORK/obs-agg2.jsonl" 2> "$WORK/obs-agg2.log"
+[ "$(count "$WORK/obs-agg2.jsonl")" = "$agg" ] \
+  || { echo "FAIL: torn snapshot changed the aggregate"; exit 1; }
+grep -q "1 torn" "$WORK/obs-agg2.log" \
+  || { echo "FAIL: torn snapshot not reported"; cat "$WORK/obs-agg2.log"; exit 1; }
+run --jobs 1 --journal "$WORK/obs.jsonl" --resume true \
+    --report csv --out "$WORK/obs-resumed.csv" 2> /dev/null
+diff "$WORK/single.csv" "$WORK/obs-resumed.csv" \
+  || { echo "FAIL: journal did not survive the torn snapshot"; exit 1; }
+
+# --- 7. crash flight recorder ------------------------------------------------
+set +e
+run --jobs 1 --journal "$WORK/crash.jsonl" --flight true \
+    --abort-after-cells 2 --report none 2> "$WORK/crash.log"
+status=$?
+set -e
+[ "$status" -ne 0 ] || { echo "FAIL: crash drill did not crash"; exit 1; }
+crash=$(ls "$WORK"/crash.jsonl.obs/crash-*.json 2> /dev/null | head -n 1)
+[ -n "$crash" ] || { echo "FAIL: no crash dump written"; exit 1; }
+"$RUNNER" --validate-json "$crash" > /dev/null \
+  || { echo "FAIL: crash dump is not valid JSON"; exit 1; }
+grep -q '"in_flight_cell":"' "$crash" \
+  || { echo "FAIL: crash dump names no in-flight cell"; cat "$crash"; exit 1; }
+run --jobs 1 --journal "$WORK/crash.jsonl" --resume true \
+    --report csv --out "$WORK/crash.csv" 2> /dev/null
+diff "$WORK/single.csv" "$WORK/crash.csv" \
+  || { echo "FAIL: journal did not resume after the SIGABRT"; exit 1; }
 
 echo "study-shard smoke OK"

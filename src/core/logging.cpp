@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
+#include <mutex>
 
 #include "core/error.hpp"
 
@@ -14,6 +15,11 @@ namespace tdfm {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::atomic<bool> g_timestamps{false};
+
+/// Worker-identity prefix (set_log_prefix).  Guarded by a mutex: set once at
+/// startup, read per line — contention-free in practice.
+std::mutex g_prefix_mu;
+std::string g_prefix;  // NOLINT(runtime/string) — process lifetime
 
 /// Dense per-thread label assigned on first log from that thread.
 std::uint32_t thread_label() {
@@ -57,6 +63,16 @@ LogLevel log_level() { return g_level.load(); }
 void set_log_timestamps(bool on) { g_timestamps.store(on); }
 bool log_timestamps() { return g_timestamps.load(); }
 
+void set_log_prefix(std::string prefix) {
+  const std::lock_guard<std::mutex> lk(g_prefix_mu);
+  g_prefix = std::move(prefix);
+}
+
+std::string log_prefix() {
+  const std::lock_guard<std::mutex> lk(g_prefix_mu);
+  return g_prefix;
+}
+
 LogLevel parse_log_level(std::string_view name) {
   if (name == "debug") return LogLevel::kDebug;
   if (name == "info") return LogLevel::kInfo;
@@ -77,6 +93,10 @@ void log_line(LogLevel level, std::string_view msg) {
     line += '[';
     line += timestamp_prefix();
     line += "] ";
+  }
+  {
+    const std::lock_guard<std::mutex> lk(g_prefix_mu);
+    line += g_prefix;
   }
   line += '[';
   line += level_tag(level);

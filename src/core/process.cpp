@@ -51,4 +51,23 @@ ProcessExit wait_process(pid_t pid) {
   return out;
 }
 
+bool try_wait_process(pid_t pid, ProcessExit* out) {
+  TDFM_CHECK(out != nullptr, "try_wait_process needs an output slot");
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, WNOHANG);
+  } while (rc < 0 && errno == EINTR);
+  if (rc == 0) return false;  // still running
+  TDFM_CHECK(rc == pid, "waitpid failed: " + std::string(std::strerror(errno)));
+  if (WIFSIGNALED(status)) {
+    out->signalled = true;
+    out->term_signal = WTERMSIG(status);
+  } else {
+    out->signalled = false;
+    out->exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return true;
+}
+
 }  // namespace tdfm::core

@@ -33,4 +33,9 @@ struct ProcessExit {
 /// Blocks until `pid` exits and returns how it ended.
 [[nodiscard]] ProcessExit wait_process(pid_t pid);
 
+/// Non-blocking wait: true (and fills *out) when `pid` has exited, false
+/// while it is still running.  Lets the --spawn driver poll children while
+/// rendering live progress between checks.
+[[nodiscard]] bool try_wait_process(pid_t pid, ProcessExit* out);
+
 }  // namespace tdfm::core

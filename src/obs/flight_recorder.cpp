@@ -1,0 +1,292 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace tdfm::obs::flight {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+}
+
+namespace {
+
+constexpr std::size_t kEntries = 256;     ///< events kept per thread
+constexpr std::size_t kDetailBytes = 47;  ///< inline detail, incl. NUL
+constexpr std::size_t kMaxRings = 256;    ///< threads tracked per process
+
+/// One recorded event.  64 bytes so a ring slot never straddles more cache
+/// lines than it must.  `seq` is the per-entry seqlock word: 0 while the
+/// slot is being (re)written, ring-global ordinal + 1 once complete.
+struct Entry {
+  std::atomic<std::uint64_t> seq{0};
+  std::int64_t us = 0;
+  std::uint8_t kind = 0;
+  char detail[kDetailBytes] = {};
+};
+static_assert(sizeof(Entry) == 64, "Entry must stay one cache line");
+
+/// One thread's ring.  Only the owning thread writes; the dumper reads
+/// through the seqlock.  Rings are heap-allocated once and intentionally
+/// never freed, so the signal handler may walk them even after the owning
+/// thread has exited.
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  ///< next event ordinal
+  std::uint64_t thread_ordinal = 0;
+  Entry entries[kEntries];
+};
+
+std::atomic<Ring*> g_rings[kMaxRings];
+std::atomic<std::size_t> g_ring_count{0};
+
+// Crash-handler configuration; plain buffers so the handler needs no
+// allocation or std::string access.
+char g_dump_dir[512] = {};
+char g_label[128] = {};
+std::atomic<bool> g_handlers_installed{false};
+std::atomic<bool> g_dumping{false};  ///< re-entrancy guard
+
+std::int64_t now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+Ring* local_ring() {
+  thread_local Ring* ring = []() -> Ring* {
+    const std::size_t idx = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxRings) return nullptr;  // beyond capacity: drop events
+    Ring* r = new Ring();                  // leaked by design (see header)
+    r->thread_ordinal = idx;
+    g_rings[idx].store(r, std::memory_order_release);
+    return r;
+  }();
+  return ring;
+}
+
+// ---- async-signal-safe output helpers -------------------------------------
+
+void put_raw(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;  // best effort; a failed dump must not loop forever
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void put_str(int fd, const char* s) { put_raw(fd, s, std::strlen(s)); }
+
+void put_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  put_raw(fd, p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+void put_i64(int fd, std::int64_t v) {
+  if (v < 0) {
+    put_str(fd, "-");
+    put_u64(fd, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    put_u64(fd, static_cast<std::uint64_t>(v));
+  }
+}
+
+const char* kind_name(std::uint8_t kind) {
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kSpanBegin: return "span_begin";
+    case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kJournalAppend: return "journal_append";
+    case EventKind::kCellBegin: return "cell_begin";
+    case EventKind::kCellEnd: return "cell_end";
+    case EventKind::kStealClaim: return "steal_claim";
+    case EventKind::kHotSwap: return "hot_swap";
+  }
+  return "unknown";
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case 0: return "none";
+  }
+  return "signal";
+}
+
+/// Writes the whole crash document to fd.  Every byte below comes from
+/// put_* over write(2); details were sanitised at record() time, so they
+/// can be emitted inside quotes without escaping.
+void dump_to_fd(int fd, int sig) {
+  put_str(fd, "{\"type\":\"crash\",\"schema_version\":1,\"pid\":");
+  put_i64(fd, static_cast<std::int64_t>(::getpid()));
+  put_str(fd, ",\"signal\":");
+  put_i64(fd, sig);
+  put_str(fd, ",\"signal_name\":\"");
+  put_str(fd, signal_name(sig));
+  put_str(fd, "\",\"label\":\"");
+  put_str(fd, g_label);
+  put_str(fd, "\",\"threads\":[");
+
+  const std::size_t rings =
+      std::min(g_ring_count.load(std::memory_order_acquire), kMaxRings);
+  bool first_ring = true;
+  for (std::size_t ri = 0; ri < rings; ++ri) {
+    Ring* ring = g_rings[ri].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    if (!first_ring) put_str(fd, ",");
+    first_ring = false;
+    put_str(fd, "{\"thread\":");
+    put_u64(fd, ring->thread_ordinal);
+    put_str(fd, ",\"events\":[");
+
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    // Oldest-to-newest: when the ring has wrapped, slot (head % N) holds the
+    // oldest surviving entry; before wrap, slot 0 does.
+    const std::uint64_t count = head < kEntries ? head : kEntries;
+    const std::uint64_t start = head < kEntries ? 0 : head % kEntries;
+    // The last cell_begin without a matching cell_end is this thread's
+    // in-flight cell; tracked while walking so the handler needs no map.
+    char in_flight[kDetailBytes] = {};
+    bool first_event = true;
+    for (std::uint64_t k = 0; k < count; ++k) {
+      Entry& e = ring->entries[(start + k) % kEntries];
+      const std::uint64_t seq = e.seq.load(std::memory_order_acquire);
+      if (seq == 0) continue;  // torn or never written
+      const std::int64_t us = e.us;
+      const std::uint8_t kind = e.kind;
+      char detail[kDetailBytes];
+      std::memcpy(detail, e.detail, kDetailBytes);
+      detail[kDetailBytes - 1] = '\0';
+      if (e.seq.load(std::memory_order_acquire) != seq) continue;  // torn
+
+      if (!first_event) put_str(fd, ",");
+      first_event = false;
+      put_str(fd, "{\"seq\":");
+      put_u64(fd, seq - 1);
+      put_str(fd, ",\"us\":");
+      put_i64(fd, us);
+      put_str(fd, ",\"kind\":\"");
+      put_str(fd, kind_name(kind));
+      put_str(fd, "\",\"detail\":\"");
+      put_str(fd, detail);
+      put_str(fd, "\"}");
+
+      if (kind == static_cast<std::uint8_t>(EventKind::kCellBegin)) {
+        std::memcpy(in_flight, detail, kDetailBytes);
+      } else if (kind == static_cast<std::uint8_t>(EventKind::kCellEnd)) {
+        in_flight[0] = '\0';
+      }
+    }
+    put_str(fd, "],\"in_flight_cell\":");
+    if (in_flight[0] != '\0') {
+      put_str(fd, "\"");
+      put_str(fd, in_flight);
+      put_str(fd, "\"");
+    } else {
+      put_str(fd, "null");
+    }
+    put_str(fd, "}");
+  }
+  put_str(fd, "]}\n");
+}
+
+bool dump_to_path(const char* path, int sig) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd, sig);
+  ::close(fd);
+  return true;
+}
+
+extern "C" void crash_handler(int sig) {
+  // One dump per process: a handler that faults again (or two racing fatal
+  // signals) must not recurse into the dumper.
+  if (!g_dumping.exchange(true)) {
+    char path[640];
+    std::size_t n = 0;
+    const char* dir = g_dump_dir;
+    while (*dir != '\0' && n < sizeof(path) - 40) path[n++] = *dir++;
+    const char* mid = "/crash-";
+    while (*mid != '\0') path[n++] = *mid++;
+    std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+    char digits[24];
+    std::size_t d = 0;
+    do {
+      digits[d++] = static_cast<char>('0' + pid % 10);
+      pid /= 10;
+    } while (pid != 0);
+    while (d > 0) path[n++] = digits[--d];
+    const char* ext = ".json";
+    while (*ext != '\0') path[n++] = *ext++;
+    path[n] = '\0';
+    dump_to_path(path, sig);
+  }
+  // Default disposition so the parent still observes "killed by signal".
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void set_enabled(bool on) {
+  detail::g_flight_enabled.store(on, std::memory_order_relaxed);
+}
+
+void record(EventKind kind, std::string_view detail) {
+  if (!enabled()) return;
+  Ring* ring = local_ring();
+  if (ring == nullptr) return;
+  const std::uint64_t ordinal = ring->head.load(std::memory_order_relaxed);
+  Entry& e = ring->entries[ordinal % kEntries];
+  e.seq.store(0, std::memory_order_release);  // mark torn while rewriting
+  e.us = now_us();
+  e.kind = static_cast<std::uint8_t>(kind);
+  const std::size_t n = std::min(detail.size(), kDetailBytes - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Sanitised here so the signal-time dump can quote it raw: printable
+    // ASCII minus the two JSON-significant characters.
+    const char c = detail[i];
+    e.detail[i] = (c < 0x20 || c > 0x7E || c == '"' || c == '\\') ? '.' : c;
+  }
+  e.detail[n] = '\0';
+  e.seq.store(ordinal + 1, std::memory_order_release);
+  ring->head.store(ordinal + 1, std::memory_order_release);
+}
+
+void install_crash_handler(const std::string& dir, std::string_view label) {
+  std::strncpy(g_dump_dir, dir.c_str(), sizeof(g_dump_dir) - 1);
+  g_dump_dir[sizeof(g_dump_dir) - 1] = '\0';
+  const std::size_t n = std::min(label.size(), sizeof(g_label) - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = label[i];
+    g_label[i] = (c < 0x20 || c > 0x7E || c == '"' || c == '\\') ? '.' : c;
+  }
+  g_label[n] = '\0';
+  set_enabled(true);
+  if (g_handlers_installed.exchange(true)) return;
+  struct sigaction sa {};
+  sa.sa_handler = crash_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
+bool dump_now(const std::string& path, int sig) {
+  return dump_to_path(path.c_str(), sig);
+}
+
+}  // namespace tdfm::obs::flight

@@ -1,0 +1,72 @@
+// Crash flight recorder: the last thing each thread was doing, recoverable
+// from a signal handler.
+//
+// A `kill -9` leaves the journal's torn-tail recovery to tell the story; a
+// SIGSEGV/SIGABRT/SIGBUS can do better, because the dying process gets one
+// last chance to speak.  Each thread appends recent events (span begin/end,
+// journal appends, cell begin/end, steal claims, hot swaps) to a fixed-size
+// lock-free ring; an async-signal-safe handler walks every ring and writes
+// `<dir>/crash-<pid>.json` naming, per thread, the trailing event window and
+// any cell that began without ending — the in-flight work at death.
+//
+// Constraints that shape the design:
+//  - record() sits on hot paths next to obs::Counter::add, so the disabled
+//    path is one relaxed load + branch (measured in bench_overhead) and the
+//    enabled path is a couple of stores into this thread's own cache lines.
+//  - The dump runs inside a signal handler: no malloc, no stdio, no locks.
+//    Rings live in leaked heap blocks reachable from a fixed pointer table,
+//    details are sanitised to plain ASCII at record() time (so the dump can
+//    quote them verbatim), and all formatting is hand-rolled over write(2).
+//  - Entries use a per-entry seqlock (seq written last, release order; 0 =
+//    torn) so the dumper can skip a slot that was mid-overwrite.  In-process
+//    readers (dump_now in tests) must quiesce writers first — the signal
+//    path has no such luxury and accepts a torn slot's loss.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tdfm::obs::flight {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}
+
+/// What happened.  Kept deliberately coarse: the recorder answers "where
+/// was each thread when we died", not "what is the full trace".
+enum class EventKind : std::uint8_t {
+  kSpanBegin = 0,
+  kSpanEnd = 1,
+  kJournalAppend = 2,
+  kCellBegin = 3,
+  kCellEnd = 4,
+  kStealClaim = 5,
+  kHotSwap = 6,
+};
+
+/// Master switch; off by default.  record() is a no-op while disabled, and
+/// enabled() is inline so call sites pay one relaxed load + branch.
+void set_enabled(bool on);
+[[nodiscard]] inline bool enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+/// Appends an event to this thread's ring.  `detail` is truncated to the
+/// entry's inline capacity (46 bytes) and sanitised to printable ASCII.
+void record(EventKind kind, std::string_view detail);
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS handlers that dump to
+/// `<dir>/crash-<pid>.json`, then re-raise with the default disposition
+/// (the exit status still says "killed by signal N").  Also enables
+/// recording.  `label` (e.g. "shard 1/3") is embedded in the dump.
+/// Idempotent; the latest dir/label wins.
+void install_crash_handler(const std::string& dir, std::string_view label = {});
+
+/// Synchronous dump of every ring to `path` (same bytes the crash handler
+/// writes; `signal` 0 marks a requested dump).  Returns false if the file
+/// cannot be opened.  Callers must quiesce recording threads first.
+bool dump_now(const std::string& path, int signal = 0);
+
+}  // namespace tdfm::obs::flight

@@ -1,13 +1,22 @@
 // Umbrella header for the tdfm observability subsystem:
-//   - metrics.hpp   counters / gauges / histograms (thread-local shards)
-//   - trace.hpp     RAII spans -> Chrome trace_event JSON (Perfetto)
-//   - telemetry.hpp per-epoch / per-cell JSONL training telemetry
-//   - stopwatch.hpp plain wall-clock timing
-//   - json.hpp      emission helpers shared by the exporters
+//   - metrics.hpp         counters / gauges / histograms (thread-local shards)
+//   - trace.hpp           RAII spans -> Chrome trace_event JSON (Perfetto),
+//                         pid-qualified + cross-process merge
+//   - telemetry.hpp       per-epoch / per-cell JSONL training telemetry
+//   - snapshot.hpp        cross-process metric snapshots + Aggregator
+//   - exporter.hpp        periodic per-process snapshot exporter
+//   - flight_recorder.hpp per-thread event rings + crash dumps
+//   - stopwatch.hpp       plain wall-clock timing
+//   - flat_json.hpp       shared strict flat-JSON parser + json_valid
+//   - json.hpp            emission helpers shared by the exporters
 #pragma once
 
+#include "obs/exporter.hpp"
+#include "obs/flat_json.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/stopwatch.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"

@@ -1,12 +1,20 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <sstream>
+#include <tuple>
 
 #include "core/error.hpp"
+#include "core/logging.hpp"
+#include "obs/flat_json.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 
 namespace tdfm::obs {
@@ -33,6 +41,8 @@ struct TraceState {
   std::uint32_t next_tid = 0;
   std::string output_path;
   bool atexit_registered = false;
+  std::int64_t pid = 0;       ///< 0 = stamp getpid() at write time
+  std::string process_label;  ///< "" = no process_name metadata event
 };
 
 TraceState& state() {
@@ -100,6 +110,10 @@ Span::Span(std::string_view name) : start_(clock::now()) {
     name_.assign(name);
     t_span_stack.push_back(name_);
   }
+  if (flight::enabled()) {
+    if (name_.empty()) name_.assign(name);  // keep it for the kSpanEnd event
+    flight::record(flight::EventKind::kSpanBegin, name);
+  }
 }
 
 double Span::stop() {
@@ -107,6 +121,7 @@ double Span::stop() {
   done_ = true;
   const auto end = clock::now();
   elapsed_ = std::chrono::duration<double>(end - start_).count();
+  if (flight::enabled()) flight::record(flight::EventKind::kSpanEnd, name_);
   if (active_) {
     if (!t_span_stack.empty()) t_span_stack.pop_back();
     const auto ts = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -161,23 +176,163 @@ std::uint64_t trace_dropped_events() {
   return g_dropped.load(std::memory_order_relaxed);
 }
 
+void set_trace_process(std::int64_t pid, std::string label) {
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lk(s.mu);
+  s.pid = pid;
+  s.process_label = std::move(label);
+}
+
 void write_chrome_trace(const std::string& path) {
   std::vector<TraceEvent> events = trace_events_snapshot();
   std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
     return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
   });
+  std::int64_t pid = 0;
+  std::string label;
+  {
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lk(s.mu);
+    pid = s.pid;
+    label = s.process_label;
+  }
+  // Real pids qualify events so merged multi-process timelines keep each
+  // shard's spans on its own row instead of stacking everything on pid 0.
+  if (pid == 0) pid = static_cast<std::int64_t>(::getpid());
   std::ofstream out(path, std::ios::trunc);
   TDFM_CHECK(out.good(), "cannot open trace output file");
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i) out << ',';
+  bool first = true;
+  if (!label.empty()) {
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":" << json_string(label) << "}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
     out << "\n{\"name\":" << json_string(e.name)
-        << ",\"cat\":\"tdfm\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
-        << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << '}';
+        << ",\"cat\":\"tdfm\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+        << ",\"dur\":" << e.dur_us << '}';
   }
   out << "\n]}\n";
   TDFM_CHECK(out.good(), "failed writing trace output file");
+}
+
+TraceParse parse_chrome_trace(std::string_view text) {
+  TraceParse out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    // Trim the inter-event comma and surrounding whitespace; only object
+    // lines are events (the envelope's "{"...traceEvents":[" / "]}" lines
+    // are not, and are skipped by the starts-with-'{' + parse test).
+    while (!line.empty() && (line.back() == ',' || line.back() == ' ' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() != '{') continue;
+    if (line == "{") continue;  // envelope opener when written unindented
+    if (line.back() != '}') {
+      // "...traceEvents":[" is the envelope opener; anything else that
+      // opens an object without closing it is the torn tail of a killed
+      // writer and must be visible in the merge accounting.
+      if (line.back() == '[') continue;
+      ++out.skipped_lines;
+      continue;
+    }
+    ChromeTraceEvent ev;
+    bool saw_name = false;
+    try {
+      FlatJsonParser parser(line, "trace parse error");
+      parser.parse([&](const std::string& key, const FlatValue& v) {
+        if (key == "name" && v.is_string()) {
+          ev.name = v.str;
+          saw_name = true;
+        } else if (key == "ph" && v.is_string()) ev.ph = v.str;
+        else if (key == "pid") ev.pid = static_cast<std::int64_t>(v.num);
+        else if (key == "tid") ev.tid = static_cast<std::int64_t>(v.num);
+        else if (key == "ts") ev.ts_us = static_cast<std::int64_t>(v.num);
+        else if (key == "dur") ev.dur_us = static_cast<std::int64_t>(v.num);
+        else if (key == "args.name" && v.is_string()) ev.arg_name = v.str;
+      });
+    } catch (const ConfigError&) {
+      ++out.skipped_lines;  // torn tail of a killed writer, or foreign junk
+      continue;
+    }
+    if (!saw_name) {
+      ++out.skipped_lines;
+      continue;
+    }
+    out.events.push_back(std::move(ev));
+  }
+  return out;
+}
+
+TraceMergeResult merge_chrome_traces(const std::vector<std::string>& paths,
+                                     const std::string& out_path) {
+  TraceMergeResult result;
+  std::vector<ChromeTraceEvent> events;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      TDFM_LOG(kWarn) << "trace merge: skipping missing input " << path;
+      ++result.missing;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    TraceParse parsed = parse_chrome_trace(buf.str());
+    if (parsed.skipped_lines > 0) {
+      TDFM_LOG(kWarn) << "trace merge: " << path << ": skipped "
+                      << parsed.skipped_lines << " unparseable line(s)";
+    }
+    result.skipped_lines += parsed.skipped_lines;
+    ++result.inputs;
+    events.insert(events.end(), std::make_move_iterator(parsed.events.begin()),
+                  std::make_move_iterator(parsed.events.end()));
+  }
+  // Deterministic timeline: metadata rows first (by pid), then spans by
+  // (ts, pid, tid, name, dur) — independent of the order inputs were given.
+  std::sort(events.begin(), events.end(),
+            [](const ChromeTraceEvent& a, const ChromeTraceEvent& b) {
+              const int arank = a.ph == "M" ? 0 : 1;
+              const int brank = b.ph == "M" ? 0 : 1;
+              return std::tie(arank, a.ts_us, a.pid, a.tid, a.name, a.dur_us) <
+                     std::tie(brank, b.ts_us, b.pid, b.tid, b.name, b.dur_us);
+            });
+  result.events = events.size();
+
+  const std::string tmp = out_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    TDFM_CHECK(out.good(), "cannot open merged trace tmp file: " + tmp);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const ChromeTraceEvent& e = events[i];
+      if (i) out << ',';
+      out << "\n{\"name\":" << json_string(e.name);
+      if (e.ph == "M") {
+        out << ",\"ph\":\"M\",\"pid\":" << e.pid << ",\"tid\":" << e.tid
+            << ",\"args\":{\"name\":" << json_string(e.arg_name) << "}}";
+      } else {
+        out << ",\"cat\":\"tdfm\",\"ph\":\"X\",\"pid\":" << e.pid
+            << ",\"tid\":" << e.tid << ",\"ts\":" << e.ts_us
+            << ",\"dur\":" << e.dur_us << '}';
+      }
+    }
+    out << "\n]}\n";
+    out.flush();
+    TDFM_CHECK(out.good(), "failed writing merged trace tmp file: " + tmp);
+  }
+  TDFM_CHECK(std::rename(tmp.c_str(), out_path.c_str()) == 0,
+             "failed renaming merged trace into place: " + out_path);
+  return result;
 }
 
 void set_trace_output(const std::string& path) {

@@ -74,6 +74,48 @@ class Span {
   std::string name_;
 };
 
+/// Identifies this process in emitted traces.  Events carry the real OS pid
+/// by default; a label (e.g. "shard 1/3") becomes a `process_name` metadata
+/// event so merged multi-process timelines name their rows.  Call before
+/// write_chrome_trace; pid 0 means "use getpid()".
+void set_trace_process(std::int64_t pid, std::string label);
+
+/// One event parsed back out of a Chrome trace file ('X' spans and 'M'
+/// process metadata — the two kinds this repo emits).
+struct ChromeTraceEvent {
+  std::string name;
+  std::string ph = "X";
+  std::int64_t pid = 0;
+  std::int64_t tid = 0;
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::string arg_name;  ///< metadata payload (args.name)
+};
+
+/// Parses a Chrome trace file previously written by write_chrome_trace (one
+/// event per line).  Unparseable lines — e.g. the torn tail of a worker
+/// killed mid-write — are skipped and counted, not fatal: a merged timeline
+/// with one truncated shard beats no timeline.
+struct TraceParse {
+  std::vector<ChromeTraceEvent> events;
+  std::size_t skipped_lines = 0;
+};
+[[nodiscard]] TraceParse parse_chrome_trace(std::string_view text);
+
+/// Fuses per-process trace files into one timeline: metadata events first
+/// (sorted by pid), then spans by (ts, pid, tid, name) — a deterministic
+/// order independent of input order.  Missing input files are skipped with
+/// a warning (a crashed shard may never have flushed one).  The output is
+/// written atomically (tmp + rename).
+struct TraceMergeResult {
+  std::size_t inputs = 0;         ///< files found and read
+  std::size_t missing = 0;        ///< paths that did not exist
+  std::size_t events = 0;         ///< events in the merged timeline
+  std::size_t skipped_lines = 0;  ///< torn/foreign lines dropped
+};
+TraceMergeResult merge_chrome_traces(const std::vector<std::string>& paths,
+                                     const std::string& out_path);
+
 /// Copy of every recorded event across all threads (test support).
 [[nodiscard]] std::vector<TraceEvent> trace_events_snapshot();
 

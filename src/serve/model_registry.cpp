@@ -4,6 +4,7 @@
 
 #include "nn/checkpoint.hpp"
 #include "nn/trainer.hpp"
+#include "obs/flight_recorder.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace tdfm::serve {
@@ -146,6 +147,10 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
   // One slot store publishes the fully-constructed version; readers that
   // loaded the previous shared_ptr keep it alive until their batch is done.
   e.current.store(std::move(model));
+  if (obs::flight::enabled()) {
+    obs::flight::record(obs::flight::EventKind::kHotSwap,
+                        name + " v" + std::to_string(version));
+  }
   return version;
 }
 

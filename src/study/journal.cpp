@@ -14,6 +14,8 @@
 #include "core/error.hpp"
 #include "core/file_lock.hpp"
 #include "core/logging.hpp"
+#include "obs/flat_json.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/json.hpp"
 
 namespace tdfm::study {
@@ -65,206 +67,17 @@ std::string to_jsonl(const CellRecord& r) {
   return os.str();
 }
 
-namespace {
-
-/// Minimal parser for the flat JSON objects the journal emits: string,
-/// number, and boolean values only.  Tolerates unknown keys; rejects
-/// anything structurally off so a truncated or foreign file fails loudly.
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(std::string_view s) : s_(s) {}
-
-  /// Invokes on_field(key, string_value, number_value, is_string, is_bool)
-  /// for every key/value pair.
-  template <typename Fn>
-  void parse(Fn&& on_field) {
-    skip_ws();
-    expect('{');
-    skip_ws();
-    if (consume('}')) return;
-    while (true) {
-      skip_ws();
-      const std::string key = parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      if (!eof() && peek() == '"') {
-        on_field(key, parse_string(), 0.0, true, false);
-      } else if (!eof() && (peek() == 't' || peek() == 'f')) {
-        const bool v = consume_literal("true");
-        if (!v) {
-          if (!consume_literal("false")) fail("expected boolean");
-        }
-        on_field(key, std::string(), v ? 1.0 : 0.0, false, true);
-      } else if (consume_literal("null")) {
-        on_field(key, std::string(), 0.0, false, false);
-      } else {
-        on_field(key, std::string(), parse_number(), false, false);
-      }
-      skip_ws();
-      if (consume('}')) break;
-      expect(',');
-    }
-    skip_ws();
-    if (!eof()) fail("trailing characters after record");
-  }
-
- private:
-  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
-  [[nodiscard]] char peek() const { return s_[pos_]; }
-
-  void skip_ws() {
-    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\r' ||
-                      peek() == '\n')) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    if (eof() || peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  void expect(char c) {
-    if (!consume(c)) fail(std::string("expected '") + c + "'");
-  }
-
-  bool consume_literal(std::string_view word) {
-    if (s_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  /// One \uXXXX escape's code unit (the four hex digits after "\u").
-  unsigned parse_hex4() {
-    if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-    unsigned code = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char h = s_[pos_++];
-      code <<= 4;
-      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-      else fail("bad \\u escape");
-    }
-    return code;
-  }
-
-  /// Appends `code` (a Unicode scalar value) as UTF-8.
-  void append_utf8(std::string& out, unsigned code) {
-    if (code < 0x80) {
-      out += static_cast<char>(code);
-    } else if (code < 0x800) {
-      out += static_cast<char>(0xC0 | (code >> 6));
-      out += static_cast<char>(0x80 | (code & 0x3F));
-    } else if (code < 0x10000) {
-      out += static_cast<char>(0xE0 | (code >> 12));
-      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
-      out += static_cast<char>(0xF0 | (code >> 18));
-      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
-      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-      out += static_cast<char>(0x80 | (code & 0x3F));
-    }
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (eof()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (eof()) fail("unterminated escape");
-      const char esc = s_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          unsigned code = parse_hex4();
-          if (code >= 0xD800 && code <= 0xDBFF) {
-            // High surrogate: JSON encodes astral code points as a
-            // \uD800-\uDBFF + \uDC00-\uDFFF pair (RFC 8259 §7).
-            if (!consume_literal("\\u")) fail("unpaired high surrogate");
-            const unsigned low = parse_hex4();
-            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
-            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-          } else if (code >= 0xDC00 && code <= 0xDFFF) {
-            fail("unpaired low surrogate");
-          }
-          append_utf8(out, code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  double parse_number() {
-    // Exactly the RFC 8259 grammar:
-    //   -? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?
-    // A leading '+', a lone '-', "01", "1." or interior signs ("1-2") are
-    // rejected here rather than left to stod's laxer locale-aware parse, so
-    // foreign files fail loudly, as this parser's contract promises.
-    const std::size_t start = pos_;
-    const auto digit = [&] { return !eof() && peek() >= '0' && peek() <= '9'; };
-    consume('-');
-    if (consume('0')) {
-      // "0" takes no more integer digits ("01" is not a JSON number).
-    } else {
-      if (!digit()) fail("expected number");
-      while (digit()) ++pos_;
-    }
-    if (consume('.')) {
-      if (!digit()) fail("expected digit after decimal point");
-      while (digit()) ++pos_;
-    }
-    if (!eof() && (peek() == 'e' || peek() == 'E')) {
-      ++pos_;
-      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
-      if (!digit()) fail("expected exponent digits");
-      while (digit()) ++pos_;
-    }
-    const std::string text(s_.substr(start, pos_ - start));
-    try {
-      std::size_t used = 0;
-      const double v = std::stod(text, &used);
-      if (used != text.size()) throw std::invalid_argument(text);
-      return v;
-    } catch (const std::exception&) {
-      fail("malformed number '" + text + "'");
-    }
-  }
-
-  [[noreturn]] void fail(const std::string& why) const {
-    throw ConfigError("journal parse error at byte " + std::to_string(pos_) +
-                      ": " + why);
-  }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
 CellRecord parse_record(std::string_view line) {
   CellRecord r;
   bool saw_cell = false;
-  FlatJsonParser parser(line);
-  parser.parse([&](const std::string& key, const std::string& s, double num,
-                   bool is_string, bool is_bool) {
+  // The journal's records are flat JSON objects, parsed by the strict
+  // shared parser (obs/flat_json.hpp) under this file's error context.
+  obs::FlatJsonParser parser(line, "journal parse error");
+  parser.parse([&](const std::string& key, const obs::FlatValue& v) {
+    const std::string& s = v.str;
+    const double num = v.num;
+    const bool is_string = v.is_string();
+    const bool is_bool = v.is_bool();
     if (key == "cell" && is_string) {
       r.cell = s;
       saw_cell = true;
@@ -351,6 +164,9 @@ void Journal::append(CellRecord record) {
   if (!path_.empty()) {
     if (!file_) file_ = std::make_unique<core::AppendFile>(path_);
     file_->append(to_jsonl(record) + '\n');
+    if (obs::flight::enabled()) {
+      obs::flight::record(obs::flight::EventKind::kJournalAppend, record.cell);
+    }
   }
   records_.push_back(std::move(record));
 }

@@ -1,0 +1,104 @@
+#include "study/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tdfm::study {
+
+namespace {
+
+/// hits/(hits+misses), or -1 when the cache saw no traffic.
+double hit_rate(const std::vector<obs::MetricSample>& samples,
+                const std::string& prefix) {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const obs::MetricSample& s : samples) {
+    if (s.kind != obs::MetricSample::Kind::kCounter) continue;
+    if (s.name == prefix + ".hits") hits = s.count;
+    else if (s.name == prefix + ".misses") misses = s.count;
+  }
+  const std::uint64_t total = hits + misses;
+  if (total == 0) return -1.0;
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+}  // namespace
+
+ProgressSummary summarize_progress(const obs::Aggregator& agg) {
+  ProgressSummary p;
+  for (const obs::SnapshotMeta& m : agg.latest_per_shard()) {
+    ShardProgress sp;
+    sp.shard_index = m.shard_index;
+    sp.pid = m.pid;
+    sp.done = m.cells_done;
+    sp.executed = m.cells_executed;
+    sp.stolen = m.cells_stolen;
+    if (m.elapsed_seconds > 0.0) {
+      sp.cells_per_second =
+          static_cast<double>(m.cells_executed) / m.elapsed_seconds;
+    }
+    p.grid_cells = std::max(p.grid_cells, m.grid_cells);
+    p.done += sp.done;
+    p.executed += sp.executed;
+    p.stolen += sp.stolen;
+    p.cells_per_second += sp.cells_per_second;
+    p.per_shard.push_back(sp);
+  }
+  p.shards = p.per_shard.size();
+  // Stolen cells are journaled by the stealer and also counted done by the
+  // owner once it rescans, so clamp rather than report >100%.
+  p.done = std::min(p.done, p.grid_cells);
+  if (p.cells_per_second > 0.0 && p.grid_cells >= p.done) {
+    p.eta_seconds =
+        static_cast<double>(p.grid_cells - p.done) / p.cells_per_second;
+  }
+  const std::vector<obs::MetricSample> samples = agg.samples();
+  p.dataset_hit_rate = hit_rate(samples, "study.dataset_cache");
+  p.golden_hit_rate = hit_rate(samples, "study.golden_cache");
+  p.shared_fit_hit_rate = hit_rate(samples, "study.shared_fit_cache");
+  return p;
+}
+
+std::string render_progress_line(const ProgressSummary& p) {
+  char buf[128];
+  std::string line = "cells " + std::to_string(p.done) + "/" +
+                     std::to_string(p.grid_cells);
+  if (p.grid_cells > 0) {
+    std::snprintf(buf, sizeof(buf), " %.1f%%",
+                  100.0 * static_cast<double>(p.done) /
+                      static_cast<double>(p.grid_cells));
+    line += buf;
+  }
+  line += " | " + std::to_string(p.shards) +
+          (p.shards == 1 ? " shard" : " shards");
+  std::snprintf(buf, sizeof(buf), " | %.2f cells/s", p.cells_per_second);
+  line += buf;
+  if (p.eta_seconds >= 0.0) {
+    std::snprintf(buf, sizeof(buf), " | ETA %.0fs", p.eta_seconds);
+    line += buf;
+  }
+  std::string cache;
+  const auto add_rate = [&](const char* name, double rate) {
+    if (rate < 0.0) return;
+    std::snprintf(buf, sizeof(buf), "%s%s %.0f%%", cache.empty() ? "" : " ",
+                  name, 100.0 * rate);
+    cache += buf;
+  };
+  add_rate("ds", p.dataset_hit_rate);
+  add_rate("golden", p.golden_hit_rate);
+  add_rate("shared", p.shared_fit_hit_rate);
+  if (!cache.empty()) line += " | cache " + cache;
+  if (p.stolen > 0) line += " | stolen " + std::to_string(p.stolen);
+  // Per-shard cells/sec, the at-a-glance "which shard is slow" view.
+  if (p.per_shard.size() > 1) {
+    line += " |";
+    for (const ShardProgress& sp : p.per_shard) {
+      std::snprintf(buf, sizeof(buf), " s%zu:%.2f/s", sp.shard_index,
+                    sp.cells_per_second);
+      line += buf;
+    }
+  }
+  return line;
+}
+
+}  // namespace tdfm::study

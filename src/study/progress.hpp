@@ -1,0 +1,51 @@
+// Live campaign progress, assembled from the observability plane.
+//
+// The --progress driver never touches journals or worker state: it re-reads
+// the snapshot directory (obs/snapshot.hpp) each tick, folds the per-process
+// files with obs::Aggregator, and renders one status line.  Strictly
+// read-only — a campaign with --progress produces byte-identical journals,
+// reports, and CSVs to one without.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/snapshot.hpp"
+
+namespace tdfm::study {
+
+/// Per-shard live view distilled from its newest snapshot.
+struct ShardProgress {
+  std::size_t shard_index = 0;
+  std::int64_t pid = 0;
+  std::size_t done = 0;      ///< journaled + executed by that process
+  std::size_t executed = 0;  ///< computed this run (incl. stolen)
+  std::size_t stolen = 0;
+  double cells_per_second = 0.0;  ///< executed / elapsed
+};
+
+/// Fleet-wide progress: totals, throughput, ETA, cache effectiveness.
+struct ProgressSummary {
+  std::size_t shards = 0;     ///< shards that have exported at least once
+  std::size_t grid_cells = 0;
+  std::size_t done = 0;       ///< sum of per-shard done
+  std::size_t executed = 0;
+  std::size_t stolen = 0;
+  double cells_per_second = 0.0;  ///< summed across shards
+  double eta_seconds = -1.0;      ///< < 0: unknown (no throughput yet)
+  /// Cache hit rates in [0,1]; < 0 when that cache saw no traffic.
+  double dataset_hit_rate = -1.0;
+  double golden_hit_rate = -1.0;
+  double shared_fit_hit_rate = -1.0;
+  std::vector<ShardProgress> per_shard;  ///< sorted by shard index
+};
+
+/// Folds an aggregated snapshot set into the live view.
+[[nodiscard]] ProgressSummary summarize_progress(const obs::Aggregator& agg);
+
+/// One human-readable status line (no trailing newline), e.g.
+/// "cells 9/12 75.0% | 3 shards | 1.8 cells/s | ETA 2s | cache ds 67% "
+/// "golden 50% shared 33% | stolen 1".  Suitable for "\r" live rendering.
+[[nodiscard]] std::string render_progress_line(const ProgressSummary& p);
+
+}  // namespace tdfm::study

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -19,6 +21,8 @@
 #include "faults/fault_injector.hpp"
 #include "metrics/metrics.hpp"
 #include "mitigation/baseline.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -374,10 +378,45 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
   std::mutex counter_mu;
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> executed{0};
+  std::atomic<std::uint64_t> begun{0};
   std::atomic<std::size_t> stolen{0};
   std::atomic<bool> failed{false};
   std::mutex error_mu;
   std::exception_ptr first_error;
+
+  static obs::Counter cells_executed =
+      obs::Registry::global().counter("study.cells.executed");
+  static obs::Counter cells_stolen =
+      obs::Registry::global().counter("study.cells.stolen");
+
+  // Observability plane: periodic per-process snapshots of metrics plus the
+  // progress numbers below.  fill_meta runs on the exporter thread, so it
+  // only touches atomics and immutable campaign state.
+  obs::SnapshotExporter exporter;
+  if (!options.obs_dir.empty()) {
+    const auto obs_t0 = std::chrono::steady_clock::now();
+    obs::ExporterOptions eopts;
+    eopts.dir = options.obs_dir;
+    eopts.shard_index = options.shard_index;
+    eopts.shard_count = options.shard_count;
+    eopts.label = options.shard_count > 1
+                      ? "shard " + std::to_string(options.shard_index) + "/" +
+                            std::to_string(options.shard_count)
+                      : spec.name;
+    eopts.interval_ms = options.obs_interval_ms;
+    eopts.fill_meta = [&cells, &executed, &stolen, adopted_count,
+                       obs_t0](obs::SnapshotMeta& meta) {
+      meta.grid_cells = cells.size();
+      meta.cells_executed = executed.load(std::memory_order_relaxed);
+      meta.cells_stolen = stolen.load(std::memory_order_relaxed);
+      meta.cells_done = adopted_count + meta.cells_executed;
+      meta.elapsed_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        obs_t0)
+              .count();
+    };
+    exporter.start(std::move(eopts));
+  }
 
   // With jobs > 1 each worker trains inline (ThreadPool::InlineScope) and
   // per-fit thread requests are disabled so no cell resizes the global pool
@@ -386,6 +425,14 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
     std::optional<core::ThreadPool::InlineScope> scope;
     if (inline_scope) scope.emplace();
     const auto run_one = [&](std::size_t i) {
+      if (obs::flight::enabled()) {
+        obs::flight::record(obs::flight::EventKind::kCellBegin, ids[i]);
+      }
+      if (options.abort_after_cells != 0 &&
+          begun.fetch_add(1, std::memory_order_relaxed) + 1 ==
+              options.abort_after_cells) {
+        std::abort();  // crash drill: die with this cell still in flight
+      }
       const data::DatasetKind kind = spec.datasets[cells[i].dataset];
       nn::TrainOptions topts = train_options_for(spec, kind);
       if (inline_scope) topts.threads = 0;
@@ -394,6 +441,10 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
                                 counter_mu);
       journal.append(rec);
       executed.fetch_add(1, std::memory_order_relaxed);
+      cells_executed.add();
+      if (obs::flight::enabled()) {
+        obs::flight::record(obs::flight::EventKind::kCellEnd, ids[i]);
+      }
       if (options.on_cell) options.on_cell(rec);
       slots[i] = std::move(rec);
     };
@@ -413,9 +464,13 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
     while (steal && !failed.load(std::memory_order_relaxed)) {
       const std::size_t i = steal->claim_next();
       if (i == StealController::npos) break;
+      if (obs::flight::enabled()) {
+        obs::flight::record(obs::flight::EventKind::kStealClaim, ids[i]);
+      }
       try {
         run_one(i);
         stolen.fetch_add(1, std::memory_order_relaxed);
+        cells_stolen.add();
         TDFM_LOG(kInfo) << "shard " << options.shard_index << " stole cell "
                         << ids[i];
       } catch (...) {
@@ -440,6 +495,7 @@ CampaignResult run_campaign(const StudySpec& spec, const RunOptions& options) {
     }
     for (auto& t : threads) t.join();
   }
+  exporter.stop();  // final snapshot carries the end-state totals
   if (first_error) std::rethrow_exception(first_error);
 
   result.executed = executed.load();

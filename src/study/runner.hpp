@@ -65,6 +65,17 @@ struct RunOptions {
   /// Optional per-completion hook; invoked from worker threads (may run
   /// concurrently — the callee synchronises).
   std::function<void(const CellRecord&)> on_cell;
+  /// Observability plane directory: non-empty starts a SnapshotExporter that
+  /// periodically writes this process's metrics + progress to
+  /// `<obs_dir>/metrics-<pid>.jsonl` (read by --progress / --obs-report).
+  /// Purely observational — journal bytes and records are unaffected.
+  std::string obs_dir;
+  std::int64_t obs_interval_ms = 500;
+  /// Crash drill (test hook, wired to study_runner --abort-after-cells and
+  /// used by scripts/study_shard_smoke.sh): when non-zero, raise SIGABRT
+  /// right after beginning the N-th cell this process starts, so the flight
+  /// recorder's dump must name that cell as in flight.  0 = disabled.
+  std::uint64_t abort_after_cells = 0;
 };
 
 struct CacheCounters {

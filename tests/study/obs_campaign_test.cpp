@@ -1,0 +1,208 @@
+// Campaign ↔ observability-plane integration, in-process: a sharded
+// campaign exports snapshots whose aggregated counters equal the full grid,
+// and study::summarize_progress folds them into the --progress view.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "study/progress.hpp"
+#include "study/study.hpp"
+
+namespace tdfm::study {
+namespace {
+
+/// Seconds-scale grid (same shape as shard_test's): 6 cells.
+StudySpec tiny_campaign(std::uint64_t seed) {
+  StudySpec spec;
+  spec.name = "obs-plane-test";
+  spec.datasets = {data::DatasetKind::kPneumoniaSim};
+  spec.models = {models::Arch::kConvNet};
+  spec.fault_levels = {{faults::FaultSpec{faults::FaultType::kMislabelling, 30.0}}};
+  spec.techniques = {mitigation::TechniqueKind::kBaseline,
+                     mitigation::TechniqueKind::kLabelSmoothing,
+                     mitigation::TechniqueKind::kEnsemble};
+  spec.trials = 2;
+  spec.scale = 0.5;
+  spec.model_width = 4;
+  spec.seed = seed;
+  spec.train_opts.epochs = 2;
+  spec.train_opts.batch_size = 16;
+  spec.hyperparams.ens_members = {models::Arch::kConvNet};
+  spec.tune_small_datasets = false;
+  return spec;
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tdfm_obs_campaign_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Runs the tiny grid as 3 sequential in-process "shards", snapshotting each
+// shard's registry delta the way 3 worker processes would export theirs,
+// then checks the aggregate sees the whole campaign.  (The process-level
+// version of this — 3 real workers, one obs dir — runs in the shard smoke
+// script.)
+TEST(ObsCampaign, AggregatedShardCountersCoverTheGrid) {
+  const StudySpec spec = tiny_campaign(701);
+  const std::string dir = temp_dir("agg");
+  obs::set_metrics_enabled(true);
+
+  std::size_t executed_total = 0;
+  std::vector<obs::MetricsSnapshot> exported;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    obs::Registry::global().reset_values();  // isolate this "process"
+    RunOptions run;
+    run.jobs = 1;
+    run.shard_index = shard;
+    run.shard_count = 3;
+    run.journal_path = dir + "/shard" + std::to_string(shard) + ".jsonl";
+    const CampaignResult result = run_campaign(spec, run);
+    executed_total += result.executed;
+
+    obs::SnapshotMeta meta;
+    meta.pid = 9000 + static_cast<std::int64_t>(shard);  // stand-in worker pid
+    meta.shard_index = shard;
+    meta.shard_count = 3;
+    meta.seq = 1;
+    meta.label = "shard " + std::to_string(shard) + "/3";
+    meta.grid_cells = spec.cell_count();
+    meta.cells_done = result.executed + result.skipped;
+    meta.cells_executed = result.executed;
+    meta.elapsed_seconds = std::max(result.elapsed_seconds, 1e-9);
+    const obs::MetricsSnapshot snap = obs::collect_snapshot(meta);
+    obs::write_snapshot_atomic(obs::snapshot_path(dir, meta.pid), snap);
+    exported.push_back(snap);
+  }
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(executed_total, spec.cell_count());  // shards partition the grid
+
+  const obs::SnapshotScan scan = obs::read_snapshot_dir(dir);
+  EXPECT_EQ(scan.skipped, 0u);
+  ASSERT_EQ(scan.snapshots.size(), 3u);
+  obs::Aggregator agg;
+  for (const obs::MetricsSnapshot& s : scan.snapshots) agg.add(s);
+
+  // The aggregated counter equals the sum of the per-shard counters equals
+  // the grid size — the plane's core accounting invariant.
+  std::uint64_t per_shard_sum = 0;
+  for (const obs::MetricsSnapshot& s : exported) {
+    const auto it = std::find_if(s.samples.begin(), s.samples.end(),
+                                 [](const obs::MetricSample& m) {
+                                   return m.name == "study.cells.executed";
+                                 });
+    ASSERT_NE(it, s.samples.end());
+    per_shard_sum += it->count;
+  }
+  const std::vector<obs::MetricSample> samples = agg.samples();
+  const auto merged = std::find_if(samples.begin(), samples.end(),
+                                   [](const obs::MetricSample& m) {
+                                     return m.name == "study.cells.executed";
+                                   });
+  ASSERT_NE(merged, samples.end());
+  EXPECT_EQ(merged->count, per_shard_sum);
+  EXPECT_EQ(merged->count, spec.cell_count());
+
+  // The --progress view over the same aggregate.
+  const ProgressSummary p = summarize_progress(agg);
+  EXPECT_EQ(p.shards, 3u);
+  EXPECT_EQ(p.grid_cells, spec.cell_count());
+  EXPECT_EQ(p.done, spec.cell_count());
+  EXPECT_EQ(p.executed, spec.cell_count());
+  EXPECT_GT(p.cells_per_second, 0.0);
+  EXPECT_GE(p.eta_seconds, 0.0);  // known (rate > 0) and complete -> 0
+  ASSERT_EQ(p.per_shard.size(), 3u);
+  const std::string line = render_progress_line(p);
+  EXPECT_NE(line.find("cells 6/6"), std::string::npos) << line;
+  EXPECT_NE(line.find("100.0%"), std::string::npos) << line;
+  EXPECT_NE(line.find("3 shards"), std::string::npos) << line;
+  EXPECT_NE(line.find("s0:"), std::string::npos) << line;
+}
+
+// The runner's own exporter end: run one shard with RunOptions::obs_dir set
+// and check it leaves a final snapshot carrying campaign progress.
+TEST(ObsCampaign, RunnerExportsSnapshotsWhenObsDirSet) {
+  const StudySpec spec = tiny_campaign(702);
+  const std::string dir = temp_dir("runner");
+  RunOptions run;
+  run.jobs = 1;
+  run.shard_index = 1;
+  run.shard_count = 3;
+  run.journal_path = dir + "/shard1.jsonl";
+  run.obs_dir = dir;
+  run.obs_interval_ms = 10;
+  const CampaignResult result = run_campaign(spec, run);
+  obs::set_metrics_enabled(false);
+
+  const obs::SnapshotScan scan = obs::read_snapshot_dir(dir);
+  EXPECT_EQ(scan.skipped, 0u);
+  ASSERT_EQ(scan.snapshots.size(), 1u);
+  const obs::MetricsSnapshot& snap = scan.snapshots[0];
+  EXPECT_EQ(snap.meta.shard_index, 1u);
+  EXPECT_EQ(snap.meta.shard_count, 3u);
+  EXPECT_EQ(snap.meta.label, "shard 1/3");
+  EXPECT_EQ(snap.meta.grid_cells, spec.cell_count());
+  EXPECT_EQ(snap.meta.cells_executed, result.executed);
+  EXPECT_EQ(snap.meta.cells_done, result.executed + result.skipped);
+  EXPECT_GT(snap.meta.seq, 0u);
+  EXPECT_GT(snap.meta.elapsed_seconds, 0.0);
+  const auto it = std::find_if(snap.samples.begin(), snap.samples.end(),
+                               [](const obs::MetricSample& m) {
+                                 return m.name == "study.cells.executed";
+                               });
+  ASSERT_NE(it, snap.samples.end());
+  EXPECT_GE(it->count, result.executed);  // registry survives reruns in-proc
+}
+
+TEST(ObsCampaign, ProgressSummaryHandlesEmptyAndPartialPlanes) {
+  const obs::Aggregator empty;
+  const ProgressSummary p = summarize_progress(empty);
+  EXPECT_EQ(p.shards, 0u);
+  EXPECT_EQ(p.grid_cells, 0u);
+  EXPECT_LT(p.eta_seconds, 0.0);  // unknown
+  EXPECT_LT(p.dataset_hit_rate, 0.0);
+  const std::string line = render_progress_line(p);
+  EXPECT_NE(line.find("cells 0/0"), std::string::npos) << line;
+
+  // One shard reporting, two still booting: totals reflect what is known.
+  obs::MetricsSnapshot one;
+  one.meta.shard_index = 2;
+  one.meta.shard_count = 3;
+  one.meta.wall_us = 50;
+  one.meta.grid_cells = 12;
+  one.meta.cells_done = 3;
+  one.meta.cells_executed = 2;
+  one.meta.cells_stolen = 1;
+  one.meta.elapsed_seconds = 4.0;
+  obs::MetricSample hits;
+  hits.kind = obs::MetricSample::Kind::kCounter;
+  hits.name = "study.dataset_cache.hits";
+  hits.count = 3;
+  obs::MetricSample misses = hits;
+  misses.name = "study.dataset_cache.misses";
+  misses.count = 1;
+  one.samples = {hits, misses};
+  obs::Aggregator agg;
+  agg.add(one);
+  const ProgressSummary partial = summarize_progress(agg);
+  EXPECT_EQ(partial.shards, 1u);
+  EXPECT_EQ(partial.grid_cells, 12u);
+  EXPECT_EQ(partial.done, 3u);
+  EXPECT_EQ(partial.stolen, 1u);
+  EXPECT_DOUBLE_EQ(partial.cells_per_second, 0.5);
+  EXPECT_NEAR(partial.eta_seconds, 18.0, 1e-9);
+  EXPECT_DOUBLE_EQ(partial.dataset_hit_rate, 0.75);
+  const std::string rendered = render_progress_line(partial);
+  EXPECT_NE(rendered.find("cells 3/12"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("ETA 18s"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("cache ds 75%"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("stolen 1"), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace tdfm::study
