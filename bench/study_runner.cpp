@@ -19,6 +19,8 @@
 //   study_runner --preset fig4 --shard 2/3 --journal fig4.s2.jsonl
 //   study_runner --merge fig4.s0.jsonl,fig4.s1.jsonl,fig4.s2.jsonl
 //                --journal fig4.jsonl               # fuse + dedup + report
+//   study_runner --merge auto --journal fig4.jsonl  # same, discovering the
+//                # <journal>.shard<i>of<N>.jsonl siblings automatically
 //
 //   study_runner --preset fig4 --spawn 3 --journal fig4.jsonl        # or: one
 //                # driver that spawns the 3 shard processes and merges
@@ -48,6 +50,7 @@
 
 #include "bench_common.hpp"
 #include "core/process.hpp"
+#include "store/reader.hpp"
 #include "study/progress.hpp"
 
 namespace {
@@ -178,13 +181,18 @@ int main(int argc, char** argv) try {
   cli.add_flag("resume", "false", "skip cells already recorded in --journal");
   cli.add_flag("report-only", "false",
                "do not run anything; report the --journal contents");
+  cli.add_flag("store", "",
+               "with --report-only: read records from this results-store "
+               "directory (study_query import) instead of --journal; the "
+               "report is byte-identical to the JSONL-backed one");
   cli.add_flag("jobs", "1", "concurrent cells (0 = hardware concurrency)");
   cli.add_flag("shard", "",
                "run only this shard of the grid, as i/N (0-based); cells are "
                "partitioned by hash(cell_id) % N");
   cli.add_flag("merge", "",
                "fuse these comma-separated shard journals into --journal "
-               "(dedup + conflict check), then report; runs nothing");
+               "(dedup + conflict check), then report; runs nothing; 'auto' "
+               "discovers the <journal>.shard<i>of<N>.jsonl siblings");
   cli.add_flag("spawn", "0",
                "driver mode: spawn N shard worker processes over --journal's "
                "derived per-shard journals, merge on completion");
@@ -290,10 +298,43 @@ int main(int argc, char** argv) try {
     merged.meta.cells_executed = p.executed;
     merged.meta.cells_stolen = p.stolen;
     merged.samples = agg.samples();
+    // Surface the plane's own health in the report itself (not only on
+    // stderr): how many snapshot files were skipped as torn/foreign, and —
+    // when a journal rides along — whether loading it had to recover a
+    // torn tail (the kill -9 signature).
+    const auto add_counter = [&](const std::string& name, std::uint64_t n) {
+      obs::MetricSample s;
+      s.kind = obs::MetricSample::Kind::kCounter;
+      s.name = name;
+      s.count = n;
+      merged.samples.push_back(std::move(s));
+    };
+    add_counter("obs_report_snapshots_skipped", skipped);
+    std::string journal_note;
+    if (!journal_path.empty()) {
+      try {
+        bool torn = false;
+        const auto records = study::Journal::load(journal_path, &torn);
+        add_counter("obs_report_journal_records", records.size());
+        add_counter("obs_report_journal_torn_tail_recovered", torn ? 1 : 0);
+        journal_note = " | journal: " + std::to_string(records.size()) +
+                       " records" + (torn ? ", torn tail recovered" : "");
+      } catch (const ConfigError& e) {
+        // The plane is an observer: a damaged journal degrades the report,
+        // never fails it.
+        TDFM_LOG(kWarn) << "obs-report: cannot load journal " << journal_path
+                        << ": " << e.what();
+        journal_note = " | journal: unreadable";
+      }
+    }
+    std::sort(merged.samples.begin(), merged.samples.end(),
+              [](const obs::MetricSample& a, const obs::MetricSample& b) {
+                return a.name < b.name;
+              });
     deliver(obs::serialize_snapshot(merged), cli.get_string("out"));
     std::cerr << study::render_progress_line(p)
               << (skipped ? " | " + std::to_string(skipped) + " torn" : "")
-              << "\n";
+              << journal_note << "\n";
     return 0;
   }
 
@@ -330,7 +371,19 @@ int main(int argc, char** argv) try {
   // Merge mode: fuse per-shard journals into --journal, then report.
   if (!cli.get_string("merge").empty()) {
     TDFM_CHECK(!journal_path.empty(), "--merge needs --journal (the output)");
-    const auto shard_paths = split_csv(cli.get_string("merge"));
+    std::vector<std::string> shard_paths;
+    if (cli.get_string("merge") == "auto") {
+      // Discover the <journal>.shard<i>of<N>.jsonl siblings the --spawn
+      // driver (or a by-hand sharded run following its naming) left behind.
+      shard_paths = study::discover_shard_journals(journal_path);
+      TDFM_CHECK(!shard_paths.empty(),
+                 "--merge auto found no " + journal_path +
+                     ".shard<i>of<N>.jsonl siblings");
+      std::cerr << "discovered " << shard_paths.size() << " shard journals"
+                << " next to " << journal_path << "\n";
+    } else {
+      shard_paths = split_csv(cli.get_string("merge"));
+    }
     auto merged = study::merge_journals(shard_paths);
     study::write_journal(journal_path, merged.records);
     std::cerr << "merged " << shard_paths.size() << " journals: "
@@ -355,8 +408,14 @@ int main(int argc, char** argv) try {
   }
 
   if (cli.get_bool("report-only")) {
-    TDFM_CHECK(!journal_path.empty(), "--report-only needs --journal");
-    auto records = study::Journal::load(journal_path);
+    const std::string store_dir = cli.get_string("store");
+    TDFM_CHECK(!journal_path.empty() || !store_dir.empty(),
+               "--report-only needs --journal or --store");
+    // The store-backed path feeds the same Analyzer the same records in the
+    // same order, so the report bytes cannot depend on which backend held
+    // them (store_smoke.sh asserts this with cmp).
+    auto records = store_dir.empty() ? study::Journal::load(journal_path)
+                                     : store::read_all_records(store_dir);
     // Order records by the preset's expansion order so the report is
     // byte-identical to the one the live run printed.
     sort_by_expansion(records, spec);

@@ -1,0 +1,109 @@
+// Variable-length integer and bit-packing primitives for binary formats.
+//
+// The results store (src/store) encodes its columns with these: LEB128
+// varints for lengths/ids/deltas, zig-zag mapping so small negative deltas
+// stay short, fixed64 for raw double bits, and a byte-per-8-bools bitmap
+// for flag columns.  Decoders take untrusted file bytes, so every read is
+// bounds-checked and throws ConfigError (not UB) on truncation — the same
+// fail-loudly contract as obs::FlatJsonParser.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tdfm::core {
+
+/// Appends `v` as an unsigned LEB128 varint (1-10 bytes).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+/// Reads a varint at `pos`, advancing it.  Throws ConfigError on a
+/// truncated or over-long (> 10 byte) encoding.
+inline std::uint64_t get_varint(std::string_view s, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= s.size()) throw ConfigError("varint: truncated input");
+    const auto byte = static_cast<std::uint8_t>(s[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw ConfigError("varint: encoding longer than 10 bytes");
+}
+
+/// Maps signed to unsigned so that small-magnitude values (either sign)
+/// varint-encode short: 0,-1,1,-2,... -> 0,1,2,3,...
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends `v` as 8 little-endian bytes (raw fp64 bit patterns).
+inline void put_fixed64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+inline std::uint64_t get_fixed64(std::string_view s, std::size_t& pos) {
+  if (pos + 8 > s.size()) throw ConfigError("fixed64: truncated input");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s[pos + i]))
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+/// Packs bools 8-per-byte, LSB first.  The reader must know the count.
+inline void pack_bits(const std::vector<bool>& bits, std::string& out) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      out += static_cast<char>(acc);
+      acc = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) out += static_cast<char>(acc);
+}
+
+/// Unpacks `count` bools from `pos`, advancing past ceil(count/8) bytes.
+inline std::vector<bool> unpack_bits(std::string_view s, std::size_t count,
+                                     std::size_t& pos) {
+  const std::size_t bytes = (count + 7) / 8;
+  if (pos + bytes > s.size()) throw ConfigError("bitmap: truncated input");
+  std::vector<bool> bits(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bits[i] = (static_cast<std::uint8_t>(s[pos + i / 8]) >> (i % 8)) & 1u;
+  }
+  pos += bytes;
+  return bits;
+}
+
+/// FNV-1a 64-bit over arbitrary bytes: the store's segment checksum.  Not
+/// cryptographic — it detects torn writes and bit rot, nothing adversarial.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace tdfm::core

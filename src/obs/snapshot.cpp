@@ -204,12 +204,11 @@ std::string snapshot_path(const std::string& dir, std::int64_t pid) {
   return dir + "/metrics-" + std::to_string(pid) + ".jsonl";
 }
 
-SnapshotScan read_snapshot_dir(const std::string& dir) {
-  SnapshotScan scan;
+std::vector<std::string> list_snapshot_files(const std::string& dir) {
   namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) return scan;  // not exported yet
   std::vector<std::string> paths;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return paths;  // not exported yet
   for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
     if (ec) break;
     const std::string name = entry.path().filename().string();
@@ -218,7 +217,12 @@ SnapshotScan read_snapshot_dir(const std::string& dir) {
     paths.push_back(entry.path().string());
   }
   std::sort(paths.begin(), paths.end());
-  for (const std::string& path : paths) {
+  return paths;
+}
+
+SnapshotScan read_snapshot_dir(const std::string& dir) {
+  SnapshotScan scan;
+  for (const std::string& path : list_snapshot_files(dir)) {
     std::ifstream in(path, std::ios::binary);
     if (!in.good()) {
       TDFM_LOG(kWarn) << "obs: skipping unreadable snapshot " << path;

@@ -87,6 +87,13 @@ struct SnapshotScan {
   std::size_t skipped = 0;  ///< unreadable/torn files skipped (warned)
 };
 
+/// Lists every `metrics-*.jsonl` under `dir`, name-sorted.  A missing
+/// directory lists as empty.  This is the plane's file discovery, shared by
+/// read_snapshot_dir and by tools that archive snapshots byte-verbatim
+/// (store::StoreWriter::archive_telemetry).
+[[nodiscard]] std::vector<std::string> list_snapshot_files(
+    const std::string& dir);
+
 /// Loads every `metrics-*.jsonl` under `dir`.  A missing directory reads as
 /// empty (the campaign has not exported yet); torn or foreign files are
 /// skipped with a warning — the plane is an observer, never load-bearing.

@@ -1,0 +1,43 @@
+// Block compression for store segments.
+//
+// Column blocks are small (a segment's worth of one column) and already
+// entropy-reduced by the column encodings, so the codec's job is byte-level
+// redundancy: repeated dictionary-id runs, XOR-zero runs, shared fp64
+// prefixes.  `compress_block` picks the best available codec and falls back
+// to kRaw whenever compression would not shrink the block, so a store is
+// never larger than its raw encoding.
+//
+// Two real codecs:
+//   kZlib — used when the build found zlib (TDFM_HAVE_ZLIB); best ratio.
+//   kTlz  — a built-in LZ77 byte codec (greedy hash-chain matcher, LZ4-style
+//           token stream), so builds without zlib still compress and any
+//           build can *read* tlz/raw blocks.  Reading a zlib block on a
+//           zlib-less build throws ConfigError naming the missing codec.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "store/format.hpp"
+
+namespace tdfm::store {
+
+/// True when this build can emit and read zlib blocks.
+[[nodiscard]] bool zlib_available();
+
+/// Compresses `raw` with the best available codec; returns kRaw + a copy of
+/// the input when no codec shrinks it.
+[[nodiscard]] std::pair<Codec, std::string> compress_block(std::string_view raw);
+
+/// Decompresses a block back to exactly `raw_size` bytes.  Throws
+/// ConfigError on malformed input, a size mismatch, or an unavailable codec.
+[[nodiscard]] std::string decompress_block(Codec codec, std::string_view comp,
+                                           std::size_t raw_size);
+
+/// The built-in LZ codec, exposed for direct testing.
+[[nodiscard]] std::string tlz_compress(std::string_view raw);
+[[nodiscard]] std::string tlz_decompress(std::string_view comp,
+                                         std::size_t raw_size);
+
+}  // namespace tdfm::store

@@ -1,0 +1,63 @@
+// String dictionary for the results store: repeated strings become varint
+// ids (CLP's dictionary-encoded variables).  Ids are assigned in first-seen
+// order and are stable for the life of a store — append sessions only ever
+// extend the dictionary, so ids already written into segments stay valid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace tdfm::store {
+
+class Dictionary {
+ public:
+  /// Returns the id of `s`, inserting it if absent (writer side).
+  std::uint64_t id_for(const std::string& s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const std::uint64_t id = values_.size();
+    index_.emplace(s, id);
+    values_.push_back(s);
+    return id;
+  }
+
+  /// Lookup without insertion (reader-side predicate resolution).
+  [[nodiscard]] std::optional<std::uint64_t> find(const std::string& s) const {
+    const auto it = index_.find(s);
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] const std::string& value(std::uint64_t id) const {
+    TDFM_CHECK(id < values_.size(), "dictionary id out of range");
+    return values_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<std::string>& values() const {
+    return values_;
+  }
+
+  /// Reader side: appends the next entry; ids must arrive densely in order
+  /// (the manifest writes them that way — anything else is corruption).
+  void append(std::uint64_t id, std::string value) {
+    if (id != values_.size()) {
+      throw ConfigError("dictionary entries out of order: expected id " +
+                        std::to_string(values_.size()) + ", got " +
+                        std::to_string(id));
+    }
+    index_.emplace(value, id);
+    values_.push_back(std::move(value));
+  }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, std::uint64_t> index_;
+};
+
+}  // namespace tdfm::store

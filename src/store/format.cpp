@@ -1,0 +1,201 @@
+#include "store/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "obs/flat_json.hpp"
+#include "obs/json.hpp"
+
+namespace tdfm::store {
+
+namespace {
+
+/// Round-trip-exact double rendering (the journal's %.17g contract).
+std::string exact_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// u64 as a hex string: JSON numbers are doubles and cannot carry a full
+/// 64-bit checksum losslessly.
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex64(const std::string& s) {
+  if (s.size() != 16) throw ConfigError("store manifest: bad hex64 '" + s + "'");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw ConfigError("store manifest: bad hex64 '" + s + "'");
+  }
+  return v;
+}
+
+void render_id_list(std::ostringstream& os, const char* key,
+                    const std::vector<std::uint64_t>& ids) {
+  os << ",\"" << key << "\":[";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    os << (i ? "," : "") << ids[i];
+  }
+  os << "]";
+}
+
+}  // namespace
+
+const char* dict_column_name(std::size_t dict_index) {
+  static const char* kNames[kDictColumns] = {"dataset", "model", "fault_level",
+                                             "technique"};
+  TDFM_CHECK(dict_index < kDictColumns, "dictionary column index out of range");
+  return kNames[dict_index];
+}
+
+std::string render_manifest(const Manifest& m) {
+  std::ostringstream os;
+  os << "{\"type\":\"tdfm-store\",\"version\":" << kFormatVersion
+     << ",\"rows\":" << m.rows << ",\"data_bytes\":" << m.data_bytes
+     << ",\"segment_rows\":" << m.segment_rows
+     << ",\"recovered_torn_tail\":"
+     << (m.source_recovered_torn_tail ? "true" : "false")
+     << ",\"source\":" << obs::json_string(m.source) << "}\n";
+  for (std::size_t d = 0; d < kDictColumns; ++d) {
+    const auto& values = m.dicts[d].values();
+    for (std::size_t id = 0; id < values.size(); ++id) {
+      os << "{\"type\":\"dict\",\"c\":" << d << ",\"i\":" << id
+         << ",\"v\":" << obs::json_string(values[id]) << "}\n";
+    }
+  }
+  for (const SegmentMeta& s : m.segments) {
+    os << "{\"type\":\"segment\",\"offset\":" << s.offset
+       << ",\"bytes\":" << s.bytes << ",\"rows\":" << s.rows
+       << ",\"checksum\":\"" << hex64(s.checksum) << "\"";
+    for (std::size_t d = 0; d < kDictColumns; ++d) {
+      render_id_list(os, dict_column_name(d), s.dict_ids[d]);
+    }
+    os << ",\"trial_min\":" << s.trial_min << ",\"trial_max\":" << s.trial_max
+       << ",\"ad_min\":" << exact_number(s.ad_min)
+       << ",\"ad_max\":" << exact_number(s.ad_max) << "}\n";
+  }
+  if (m.telemetry_files > 0) {
+    os << "{\"type\":\"telemetry\",\"files\":" << m.telemetry_files
+       << ",\"bytes\":" << m.telemetry_bytes << ",\"checksum\":\""
+       << hex64(m.telemetry_checksum) << "\"}\n";
+  }
+  return os.str();
+}
+
+Manifest parse_manifest(std::string_view text, bool* recovered_torn_tail) {
+  if (recovered_torn_tail) *recovered_torn_tail = false;
+  Manifest m;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string_view::npos;
+    const std::string_view line =
+        text.substr(pos, terminated ? nl - pos : std::string_view::npos);
+    pos = terminated ? nl + 1 : text.size();
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      std::string type;
+      std::string str_v, str_checksum, str_source;
+      double c = 0, i = 0, files = 0, bytes = 0;
+      SegmentMeta seg;
+      double rows = 0, data_bytes = 0, segment_rows = 0, version = 0;
+      double seg_rows = 0, seg_offset = 0, seg_bytes = 0;
+      double trial_min = 0, trial_max = 0;
+      bool recovered = false;
+      obs::FlatJsonParser parser(line, "store manifest parse error");
+      parser.parse([&](const std::string& key, const obs::FlatValue& v) {
+        if (key == "type" && v.is_string()) type = v.str;
+        else if (key == "version") version = v.num;
+        else if (key == "rows") { rows = v.num; seg_rows = v.num; }
+        else if (key == "data_bytes") data_bytes = v.num;
+        else if (key == "segment_rows") segment_rows = v.num;
+        else if (key == "recovered_torn_tail" && v.is_bool()) recovered = v.num != 0.0;
+        else if (key == "source" && v.is_string()) str_source = v.str;
+        else if (key == "c") c = v.num;
+        else if (key == "i") i = v.num;
+        else if (key == "v" && v.is_string()) str_v = v.str;
+        else if (key == "offset") seg_offset = v.num;
+        else if (key == "bytes") { seg_bytes = v.num; bytes = v.num; }
+        else if (key == "checksum" && v.is_string()) str_checksum = v.str;
+        else if (key == "trial_min") trial_min = v.num;
+        else if (key == "trial_max") trial_max = v.num;
+        else if (key == "ad_min") seg.ad_min = v.num;
+        else if (key == "ad_max") seg.ad_max = v.num;
+        else if (key == "files") files = v.num;
+        else {
+          for (std::size_t d = 0; d < kDictColumns; ++d) {
+            if (key == dict_column_name(d) &&
+                v.kind == obs::FlatValue::Kind::kNumberArray) {
+              seg.dict_ids[d].assign(v.array.begin(), v.array.end());
+            }
+          }
+        }
+      });
+      if (type == "tdfm-store") {
+        if (static_cast<int>(version) > kFormatVersion) {
+          throw ConfigError("store manifest: version " +
+                            std::to_string(static_cast<int>(version)) +
+                            " is newer than this build understands (" +
+                            std::to_string(kFormatVersion) + ")");
+        }
+        m.rows = static_cast<std::size_t>(rows);
+        m.data_bytes = static_cast<std::uint64_t>(data_bytes);
+        m.segment_rows = static_cast<std::size_t>(segment_rows);
+        m.source_recovered_torn_tail = recovered;
+        m.source = str_source;
+        saw_header = true;
+      } else if (type == "dict") {
+        const auto d = static_cast<std::size_t>(c);
+        if (d >= kDictColumns) {
+          throw ConfigError("store manifest: dictionary column out of range");
+        }
+        m.dicts[d].append(static_cast<std::uint64_t>(i), str_v);
+      } else if (type == "segment") {
+        seg.offset = static_cast<std::uint64_t>(seg_offset);
+        seg.bytes = static_cast<std::uint64_t>(seg_bytes);
+        seg.rows = static_cast<std::size_t>(seg_rows);
+        seg.checksum = parse_hex64(str_checksum);
+        seg.trial_min = static_cast<std::uint64_t>(trial_min);
+        seg.trial_max = static_cast<std::uint64_t>(trial_max);
+        m.segments.push_back(std::move(seg));
+      } else if (type == "telemetry") {
+        m.telemetry_files = static_cast<std::size_t>(files);
+        m.telemetry_bytes = static_cast<std::uint64_t>(bytes);
+        m.telemetry_checksum = parse_hex64(str_checksum);
+      } else {
+        throw ConfigError("store manifest: unknown line type '" + type + "'");
+      }
+    } catch (const ConfigError& e) {
+      if (!terminated) {
+        // The manifest is replaced atomically, so a torn tail only appears
+        // in externally damaged copies — recover like a torn journal tail.
+        TDFM_LOG(kWarn) << "store manifest: dropping torn final line "
+                        << line_no << " (" << line.size() << " bytes)";
+        if (recovered_torn_tail) *recovered_torn_tail = true;
+        break;
+      }
+      throw ConfigError("store manifest line " + std::to_string(line_no) +
+                        ": " + e.what());
+    }
+  }
+  if (!saw_header) {
+    throw ConfigError("store manifest: missing tdfm-store header line");
+  }
+  return m;
+}
+
+}  // namespace tdfm::store

@@ -1,0 +1,9 @@
+// Umbrella header for tdfm::store — the compressed, queryable results
+// store.  See format.hpp for the on-disk layout and crash-safety contract.
+#pragma once
+
+#include "store/codec.hpp"      // IWYU pragma: export
+#include "store/dictionary.hpp" // IWYU pragma: export
+#include "store/format.hpp"     // IWYU pragma: export
+#include "store/reader.hpp"     // IWYU pragma: export
+#include "store/writer.hpp"     // IWYU pragma: export

@@ -3,11 +3,14 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <unordered_map>
 
@@ -174,6 +177,80 @@ void Journal::append(CellRecord record) {
 std::vector<CellRecord> Journal::records() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return records_;
+}
+
+std::vector<std::string> discover_shard_journals(const std::string& base) {
+  namespace fs = std::filesystem;
+  const fs::path base_path(base);
+  const std::string dir =
+      base_path.has_parent_path() ? base_path.parent_path().string() : ".";
+  const std::string prefix = base_path.filename().string() + ".shard";
+  const std::string suffix = ".jsonl";
+
+  // shard index -> (N, path)
+  std::map<std::size_t, std::pair<std::size_t, std::string>> found;
+  std::size_t shard_count = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() < prefix.size() + suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    // Middle is "<i>of<N>": digits, "of", digits — anything else (say a
+    // .shard0of3.jsonl.tmp leftover was already excluded by the suffix, but
+    // a foreign name could still slip through) is not a sibling.
+    const std::string mid = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    const std::size_t of = mid.find("of");
+    if (of == std::string::npos || of == 0 || of + 2 >= mid.size()) continue;
+    const std::string idx_s = mid.substr(0, of);
+    const std::string n_s = mid.substr(of + 2);
+    const auto all_digits = [](const std::string& s) {
+      return !s.empty() &&
+             std::all_of(s.begin(), s.end(),
+                         [](unsigned char c) { return std::isdigit(c); });
+    };
+    if (!all_digits(idx_s) || !all_digits(n_s)) continue;
+    const std::size_t idx = std::stoul(idx_s);
+    const std::size_t n = std::stoul(n_s);
+    if (n == 0 || idx >= n) {
+      throw ConfigError("shard journal " + name + ": index " + idx_s +
+                        " does not satisfy 0 <= i < " + n_s);
+    }
+    if (shard_count != 0 && n != shard_count) {
+      throw ConfigError("shard journals next to " + base + " disagree on the "
+                        "shard count (" + std::to_string(shard_count) +
+                        " vs " + n_s + " in " + name + ") — two campaigns "
+                        "share this journal name");
+    }
+    shard_count = n;
+    const auto [it, inserted] =
+        found.emplace(idx, std::make_pair(n, entry.path().string()));
+    if (!inserted) {
+      throw ConfigError("duplicate shard journal for index " + idx_s +
+                        " next to " + base);
+    }
+  }
+  if (found.empty()) return {};
+  if (found.size() != shard_count) {
+    std::string missing;
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      if (found.count(i)) continue;
+      missing += (missing.empty() ? "" : ", ") + std::to_string(i);
+    }
+    throw ConfigError("incomplete shard journal set next to " + base + ": " +
+                      std::to_string(found.size()) + " of " +
+                      std::to_string(shard_count) + " shards present "
+                      "(missing index " + missing + ") — merging would drop "
+                      "their cells");
+  }
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (const auto& [idx, entry] : found) paths.push_back(entry.second);
+  return paths;
 }
 
 MergeResult merge_journals(const std::vector<std::string>& paths) {

@@ -119,6 +119,16 @@ struct MergeResult {
   std::size_t duplicates = 0;  ///< records dropped as timing-only duplicates
 };
 
+/// Finds the per-shard journals next to `base`: every
+/// `<base>.shard<i>of<N>.jsonl` sibling (the naming study_runner's --spawn
+/// driver writes).  Returns them ordered by shard index.  Throws
+/// ConfigError when the siblings disagree on N, repeat an index, or leave a
+/// hole in 0..N-1 — an incomplete set would silently merge a partial
+/// campaign.  No siblings at all returns empty (the caller decides whether
+/// that is an error).
+[[nodiscard]] std::vector<std::string> discover_shard_journals(
+    const std::string& base);
+
 /// Loads every journal (torn tails recovered — a merged shard may have
 /// crashed) and fuses them: records sharing a cell id must be equal modulo
 /// timing, otherwise ConfigError names the conflicting cell; among timing

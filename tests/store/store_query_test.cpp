@@ -1,0 +1,225 @@
+// Query-side behaviour of the results store: predicate pushdown over zone
+// maps (skipped segments are never read), dictionary grep, aggregation
+// parity with the Analyzer, and the telemetry archive (src/store/reader.*).
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "store/store.hpp"
+#include "study/analyzer.hpp"
+
+namespace tdfm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tdfm_store_query_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Campaign-shaped records: techniques cycle fastest, so small segments end
+/// up technique-homogeneous and a technique predicate can prune.
+study::CellRecord grid_record(std::size_t i) {
+  static const char* kTechniques[] = {"Base", "LS", "Ens"};
+  study::CellRecord r;
+  char cell[20];
+  std::snprintf(cell, sizeof(cell), "%016zx", i + 1);
+  r.cell = cell;
+  r.dataset = i < 30 ? "pneumonia-sim" : "gtsrb-sim";
+  r.model = "ConvNet";
+  r.fault_level = "mislabelling@30%";
+  r.technique = kTechniques[(i / 10) % 3];  // runs of 10: homogeneous segments
+  r.trial = 1 + i % 5;
+  r.golden_accuracy = 0.8;
+  r.faulty_accuracy = 0.6;
+  r.ad = static_cast<double>(i) / 100.0;  // monotone: ad zone maps prune
+  r.train_seconds = 1.0;
+  return r;
+}
+
+/// A store of 60 grid records in segments of 5 (12 segments, each holding
+/// one technique and one dataset).
+std::string build_grid_store(const std::string& name) {
+  const std::string dir = temp_dir(name);
+  StoreWriter writer(dir, {.segment_rows = 5});
+  for (std::size_t i = 0; i < 60; ++i) writer.append(grid_record(i));
+  writer.commit();
+  return dir;
+}
+
+TEST(StoreQuery, TechniquePredicateSkipsSegmentsByZoneMap) {
+  const StoreReader reader(build_grid_store("technique"));
+  Query q;
+  q.technique = "LS";
+  std::size_t matched = 0;
+  const ScanStats stats =
+      reader.query(q, [&](const study::CellRecord& r, const std::string&) {
+        EXPECT_EQ(r.technique, "LS");
+        ++matched;
+      });
+  EXPECT_EQ(matched, 20U);
+  EXPECT_EQ(stats.segments_total, 12U);
+  EXPECT_EQ(stats.segments_skipped, 8U);  // Base + Ens segments: never read
+  EXPECT_EQ(stats.segments_scanned, 4U);
+  EXPECT_EQ(stats.rows_scanned, 20U);
+  EXPECT_EQ(stats.rows_matched, 20U);
+}
+
+TEST(StoreQuery, UnknownStringSkipsEverySegmentWithoutReading) {
+  const StoreReader reader(build_grid_store("unknown"));
+  Query q;
+  q.technique = "NoSuchTechnique";
+  const ScanStats stats =
+      reader.query(q, [](const study::CellRecord&, const std::string&) {
+        FAIL() << "matched a row for an unknown technique";
+      });
+  EXPECT_EQ(stats.segments_skipped, stats.segments_total);
+  EXPECT_EQ(stats.rows_scanned, 0U);
+}
+
+TEST(StoreQuery, GrepResolvesThroughDictionariesAndPrunes) {
+  const StoreReader reader(build_grid_store("grep"));
+  Query q;
+  q.grep = "gtsrb";  // matches the dataset of rows 30..59 only
+  std::size_t matched = 0;
+  const ScanStats stats =
+      reader.query(q, [&](const study::CellRecord& r, const std::string&) {
+        EXPECT_EQ(r.dataset, "gtsrb-sim");
+        ++matched;
+      });
+  EXPECT_EQ(matched, 30U);
+  EXPECT_EQ(stats.segments_skipped, 6U);  // the pneumonia half of the store
+}
+
+TEST(StoreQuery, GrepWithNoDictionaryMatchSkipsEverything) {
+  const StoreReader reader(build_grid_store("grep_none"));
+  Query q;
+  q.grep = "zebra";
+  const ScanStats stats =
+      reader.query(q, [](const study::CellRecord&, const std::string&) {
+        FAIL() << "matched a row for a grep no dictionary contains";
+      });
+  EXPECT_EQ(stats.segments_skipped, stats.segments_total);
+}
+
+TEST(StoreQuery, AdRangePredicatePrunesByZoneMap) {
+  const StoreReader reader(build_grid_store("ad_range"));
+  Query q;
+  q.min_ad = 0.50;  // rows 50..59: the last two segments
+  std::size_t matched = 0;
+  const ScanStats stats = reader.query(
+      q, [&](const study::CellRecord& r, const std::string&) {
+        EXPECT_GE(r.ad, 0.50);
+        ++matched;
+      });
+  EXPECT_EQ(matched, 10U);
+  EXPECT_EQ(stats.segments_scanned, 2U);
+  EXPECT_EQ(stats.segments_skipped, 10U);
+}
+
+TEST(StoreQuery, TrialPredicatePrunesWhenOutOfRange) {
+  const StoreReader reader(build_grid_store("trial"));
+  Query q;
+  q.trial = 99;
+  const ScanStats stats =
+      reader.query(q, [](const study::CellRecord&, const std::string&) {
+        FAIL() << "matched a trial the store does not contain";
+      });
+  EXPECT_EQ(stats.segments_skipped, stats.segments_total);
+}
+
+TEST(StoreQuery, ConjunctivePredicatesComposeAcrossColumns) {
+  const StoreReader reader(build_grid_store("conjunction"));
+  Query q;
+  q.technique = "Ens";
+  q.dataset = "pneumonia-sim";  // Ens ∩ pneumonia: rows 20..29
+  q.trial = 3;
+  std::size_t matched = 0;
+  reader.query(q, [&](const study::CellRecord& r, const std::string&) {
+    EXPECT_EQ(r.technique, "Ens");
+    EXPECT_EQ(r.dataset, "pneumonia-sim");
+    EXPECT_EQ(r.trial, 3U);
+    ++matched;
+  });
+  EXPECT_EQ(matched, 2U);  // rows 22 and 27
+}
+
+TEST(StoreQuery, AggregationMatchesAnalyzerOverTheSameRecords) {
+  const std::string dir = build_grid_store("agg");
+  std::vector<study::CellRecord> direct;
+  for (std::size_t i = 0; i < 60; ++i) direct.push_back(grid_record(i));
+
+  const auto from_store = StoreReader(dir).read_all();
+  ASSERT_EQ(from_store, direct);
+  // Identical records in identical order fold into identical reports.
+  EXPECT_EQ(study::render_json_summary(study::summarize_campaign(from_store)),
+            study::render_json_summary(study::summarize_campaign(direct)));
+}
+
+TEST(StoreQuery, FilteredJsonlMatchesAGrepOfTheExport) {
+  const std::string dir = build_grid_store("jsonl");
+  // The reference: export everything, keep lines containing the technique.
+  std::ostringstream all;
+  StoreReader(dir).export_jsonl(all);
+  std::string expected;
+  std::istringstream in(all.str());
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"technique\": \"Ens\"") != std::string::npos) {
+      expected += line + '\n';
+    }
+  }
+  Query q;
+  q.technique = "Ens";
+  std::string got;
+  StoreReader(dir).query(
+      q, [&](const study::CellRecord& r, const std::string& raw) {
+        got += (raw.empty() ? study::to_jsonl(r) : raw) + '\n';
+      });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(StoreTelemetry, ArchivesAndRestoresSnapshotFilesByteForByte) {
+  const std::string dir = temp_dir("telemetry");
+  const std::string obs_dir = dir + ".obs";
+  fs::create_directories(obs_dir);
+  const std::string a = "{\"type\":\"snapshot\",\"pid\":1}\nline2\n";
+  const std::string b = std::string(4096, 'x') + "\ncompressible\n";
+  std::ofstream(obs_dir + "/metrics-1.jsonl", std::ios::binary) << a;
+  std::ofstream(obs_dir + "/metrics-2.jsonl", std::ios::binary) << b;
+  std::ofstream(obs_dir + "/crash-3.json", std::ios::binary) << "ignored";
+
+  {
+    StoreWriter writer(dir);
+    writer.append(grid_record(0));
+    EXPECT_EQ(writer.archive_telemetry(obs_dir), 2U);  // crash dump excluded
+    writer.commit();
+  }
+  const std::string out_dir = dir + ".restored";
+  EXPECT_EQ(StoreReader(dir).restore_telemetry(out_dir), 2U);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(out_dir + "/metrics-1.jsonl"), a);
+  EXPECT_EQ(slurp(out_dir + "/metrics-2.jsonl"), b);
+}
+
+TEST(StoreTelemetry, RestoreWithoutArchiveThrows) {
+  const std::string dir = temp_dir("no_telemetry");
+  StoreWriter writer(dir);
+  writer.append(grid_record(0));
+  writer.commit();
+  EXPECT_THROW(StoreReader(dir).restore_telemetry(dir + ".out"), ConfigError);
+}
+
+}  // namespace
+}  // namespace tdfm::store

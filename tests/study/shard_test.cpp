@@ -6,6 +6,7 @@
 // the study_shard_smoke ctest via scripts/study_shard_smoke.sh.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <map>
@@ -288,6 +289,41 @@ TEST(Shard, WorkStealingClaimsOnlyUnjournaledCells) {
   EXPECT_EQ(merged.duplicates, 0u);
   std::remove(j0.c_str());
   std::remove(j1.c_str());
+}
+
+TEST(Shard, DiscoverFindsACompleteSiblingSetInIndexOrder) {
+  const std::string dir = testing::TempDir() + "tdfm_shard_discover";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/fig4.jsonl";
+  // Created out of order; discovery must return index order.
+  for (const int i : {2, 0, 1}) {
+    std::ofstream(base + ".shard" + std::to_string(i) + "of3.jsonl") << "";
+  }
+  std::ofstream(base) << "";                        // the base is not a shard
+  std::ofstream(dir + "/other.jsonl.shard0of2.jsonl") << "";  // foreign base
+
+  const std::vector<std::string> found = discover_shard_journals(base);
+  ASSERT_EQ(found.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(found[i], base + ".shard" + std::to_string(i) + "of3.jsonl");
+  }
+  EXPECT_TRUE(discover_shard_journals(dir + "/missing.jsonl").empty());
+}
+
+TEST(Shard, DiscoverRejectsIncompleteOrInconsistentSets) {
+  const std::string dir = testing::TempDir() + "tdfm_shard_discover_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/fig4.jsonl";
+  std::ofstream(base + ".shard0of3.jsonl") << "";
+  std::ofstream(base + ".shard2of3.jsonl") << "";
+  // A hole (shard 1 missing) would silently merge a partial campaign.
+  EXPECT_THROW((void)discover_shard_journals(base), ConfigError);
+  // Two campaigns' shard sets under one name disagree on N.
+  std::ofstream(base + ".shard1of3.jsonl") << "";
+  std::ofstream(base + ".shard0of2.jsonl") << "";
+  EXPECT_THROW((void)discover_shard_journals(base), ConfigError);
 }
 
 TEST(Shard, InvalidShardOptionsThrow) {
