@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# pipeline smoke: the full online-loop drill — faulty stream in, candidates
+# retrained and canaried, a weight-corruption drill, AD-guarded rollback —
+# with a replay-stable decision log.
+#
+#   usage: pipeline_smoke.sh <path-to-pipeline_runner> [workdir]
+#
+# Checks, in order:
+#   1. One seed-pinned run demonstrates the whole story: at least one
+#      promotion past the AD guardrail, the corruption drill, and at least
+#      one rollback when the health check catches the drilled fault.
+#   2. A rerun with the same seed produces the byte-identical decision log
+#      (no wall-clock, no iteration-order leaks).
+#   3. A rerun with a different worker count (--jobs) and wider thread pool
+#      is still byte-identical: batching must not leak into decisions.
+#   4. The checkpoint transport: with --quantize and --ckpt-dir, every
+#      published version leaves a v3 checkpoint (magic 0x7df30003), the
+#      quantized loop still promotes, and a seed-pinned rerun of the
+#      quantized run is byte-identical too.
+set -euo pipefail
+
+RUNNER=${1:?usage: pipeline_smoke.sh <pipeline_runner> [workdir]}
+WORK=${2:-$(mktemp -d)}
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# The calibrated story parameters (see examples/online_pipeline.cpp): models
+# strong enough to clear a 0.5 AD guardrail, a sign-flip drill at round 3,
+# rollback threshold 0.5 * 1.4 = 0.7 — inside AD's [0, 1] range.
+run() {
+  "$RUNNER" --rounds 8 --epochs 6 --bootstrap-epochs 4 \
+            --window 192 --chunk 96 --scale 0.6 \
+            --ad-threshold 0.5 --rollback-factor 1.4 \
+            --corrupt-round 3 --corrupt-fraction 0.2 \
+            --serve-per-round 8 --seed 7 "$@"
+}
+
+# --- 1. the full story in one run -------------------------------------------
+run --jobs 1 --decision-log "$WORK/a.jsonl" > "$WORK/a.out"
+grep -q '"action": "promote"' "$WORK/a.jsonl" \
+  || { echo "FAIL: no promotion in the decision log"; cat "$WORK/a.jsonl"; exit 1; }
+grep -q '"action": "corrupt"' "$WORK/a.jsonl" \
+  || { echo "FAIL: the corruption drill left no record"; exit 1; }
+grep -q '"action": "rollback"' "$WORK/a.jsonl" \
+  || { echo "FAIL: no rollback after the drill"; cat "$WORK/a.jsonl"; exit 1; }
+# The drill precedes the rollback that repairs it.
+drill_line=$(grep -n '"action": "corrupt"' "$WORK/a.jsonl" | head -1 | cut -d: -f1)
+rb_line=$(grep -n '"action": "rollback"' "$WORK/a.jsonl" | head -1 | cut -d: -f1)
+[ "$rb_line" -gt "$drill_line" ] \
+  || { echo "FAIL: rollback recorded before the drill"; exit 1; }
+
+# --- 2. seed-pinned reruns are byte-identical -------------------------------
+run --jobs 1 --decision-log "$WORK/b.jsonl" > /dev/null
+cmp "$WORK/a.jsonl" "$WORK/b.jsonl" \
+  || { echo "FAIL: rerun decision log is not byte-identical"; exit 1; }
+
+# --- 3. worker/thread counts must not leak into decisions -------------------
+run --jobs 4 --threads 4 --decision-log "$WORK/c.jsonl" > /dev/null
+cmp "$WORK/a.jsonl" "$WORK/c.jsonl" \
+  || { echo "FAIL: decision log depends on worker/thread count"; exit 1; }
+
+# --- 4. quantized checkpoint transport --------------------------------------
+mkdir -p "$WORK/ckpts"
+run --jobs 1 --quantize 1 --ckpt-dir "$WORK/ckpts" \
+    --decision-log "$WORK/q.jsonl" > /dev/null
+ckpt=$(ls "$WORK"/ckpts/*.ckpt 2> /dev/null | head -n 1)
+[ -n "$ckpt" ] || { echo "FAIL: checkpoint transport wrote no checkpoints"; exit 1; }
+magic=$(head -c 8 "$ckpt" | od -A n -t x1 | tr -d ' \n')
+[ "$magic" = "0300f37d00000000" ] \
+  || { echo "FAIL: promoted checkpoint is not v3 (magic $magic)"; exit 1; }
+grep -q '"action": "promote"' "$WORK/q.jsonl" \
+  || { echo "FAIL: quantized loop never promoted"; cat "$WORK/q.jsonl"; exit 1; }
+# q8 per-sample forwards are also batch-composition independent: the
+# quantized decision log is replay-stable as well.
+mkdir -p "$WORK/ckpts2"
+run --jobs 2 --quantize 1 --ckpt-dir "$WORK/ckpts2" \
+    --decision-log "$WORK/q2.jsonl" > /dev/null
+cmp "$WORK/q.jsonl" "$WORK/q2.jsonl" \
+  || { echo "FAIL: quantized rerun decision log is not byte-identical"; exit 1; }
+
+echo "pipeline smoke OK"

@@ -47,6 +47,13 @@ class SingleModelClassifier final : public Classifier {
 
   [[nodiscard]] nn::Network& network() { return *net_; }
 
+  /// Transfers ownership of the fitted network out of the classifier (which
+  /// becomes unusable).  The serving/pipeline layers use this to publish a
+  /// technique's artifact into a ModelRegistry without copying the weights.
+  [[nodiscard]] std::unique_ptr<nn::Network> release_network() {
+    return std::move(net_);
+  }
+
  private:
   std::unique_ptr<nn::Network> net_;
 };

@@ -65,6 +65,14 @@ void ResidualBasicBlock::quantize_for_inference() {
   if (projection_) projection_->quantize_for_inference();
 }
 
+std::vector<kernels::Q8Matrix*> ResidualBasicBlock::quantized_weights() {
+  auto qs = main_.quantized_weights();
+  if (projection_) {
+    for (auto* q : projection_->quantized_weights()) qs.push_back(q);
+  }
+  return qs;
+}
+
 std::string ResidualBasicBlock::name() const { return "ResidualBasicBlock"; }
 
 std::size_t ResidualBasicBlock::weight_layer_count() const {
@@ -121,6 +129,14 @@ std::vector<Parameter*> BottleneckBlock::parameters() {
 void BottleneckBlock::quantize_for_inference() {
   main_.quantize_for_inference();
   if (projection_) projection_->quantize_for_inference();
+}
+
+std::vector<kernels::Q8Matrix*> BottleneckBlock::quantized_weights() {
+  auto qs = main_.quantized_weights();
+  if (projection_) {
+    for (auto* q : projection_->quantized_weights()) qs.push_back(q);
+  }
+  return qs;
 }
 
 std::string BottleneckBlock::name() const { return "BottleneckBlock"; }

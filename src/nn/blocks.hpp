@@ -27,6 +27,7 @@ class ResidualBasicBlock final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void quantize_for_inference() override;
+  std::vector<kernels::Q8Matrix*> quantized_weights() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override;
 
@@ -47,6 +48,7 @@ class BottleneckBlock final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void quantize_for_inference() override;
+  std::vector<kernels::Q8Matrix*> quantized_weights() override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override;
 
@@ -71,6 +73,9 @@ class SeparableConvBlock final : public Layer {
   }
   std::vector<Parameter*> parameters() override { return body_.parameters(); }
   void quantize_for_inference() override { body_.quantize_for_inference(); }
+  std::vector<kernels::Q8Matrix*> quantized_weights() override {
+    return body_.quantized_weights();
+  }
   [[nodiscard]] std::string name() const override { return "SeparableConvBlock"; }
   [[nodiscard]] std::size_t weight_layer_count() const override {
     return body_.weight_layer_count();

@@ -12,11 +12,19 @@
 //       num_classes) | count:u64 | float32 * count
 //       Self-describing: ModelRegistry::load() instantiates the right zoo
 //       architecture from the header alone.
+//   v3: v2 layout + flags:u32 after num_classes.  Flag bit 0 = quantize:
+//       the checkpoint describes a model *deployed* in q8_0 inference form;
+//       the weights themselves stay fp32 (quantization is irreversible, so
+//       checkpoints are always written pre-quantization) and loaders are
+//       expected to re-quantize after restoring.  This is how a
+//       pipeline-promoted quantized candidate round-trips through
+//       save/load without silently dequantizing.
 //
-// load_checkpoint reads both versions; save_checkpoint writes v1 unless a
-// CheckpointMeta is supplied.  The architecture is stored as its zoo *name*
-// (not the enum value) so the format survives enum reordering and nn stays
-// independent of the models library.
+// load_checkpoint reads all versions; save_checkpoint writes v1 unless a
+// CheckpointMeta is supplied, and then v2 unless meta sets a v3-only field
+// (so existing v2 files stay byte-identical).  The architecture is stored
+// as its zoo *name* (not the enum value) so the format survives enum
+// reordering and nn stays independent of the models library.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,10 @@ struct CheckpointMeta {
   std::uint32_t in_channels = 0;
   std::uint32_t image_size = 0;
   std::uint32_t num_classes = 0;
+  /// Deployment form: true = serve this model q8_0-quantized (v3 flag bit
+  /// 0).  The stored weights are fp32 either way; loaders honouring the
+  /// flag call quantize_for_inference() after restoring.
+  bool quantize = false;
 
   [[nodiscard]] bool operator==(const CheckpointMeta&) const = default;
 };
@@ -43,18 +55,20 @@ struct CheckpointMeta {
 /// Throws tdfm::Error on I/O failure.
 void save_checkpoint(Network& net, const std::string& path);
 
-/// Writes a v2 checkpoint: `meta` followed by the weights.  Throws
-/// tdfm::Error on I/O failure or when meta.arch is empty.
+/// Writes a self-describing checkpoint: `meta` followed by the weights.
+/// Emits the v2 layout when no v3-only field is set (meta.quantize false),
+/// v3 otherwise.  Throws tdfm::Error on I/O failure or when meta.arch is
+/// empty.
 void save_checkpoint(Network& net, const std::string& path,
                      const CheckpointMeta& meta);
 
-/// Reads the header of a v2 checkpoint.  Throws tdfm::Error on I/O failure,
-/// on a non-checkpoint file, or on a v1 file (which carries no metadata —
-/// callers must supply the architecture out of band).
+/// Reads the header of a v2/v3 checkpoint.  Throws tdfm::Error on I/O
+/// failure, on a non-checkpoint file, or on a v1 file (which carries no
+/// metadata — callers must supply the architecture out of band).
 [[nodiscard]] CheckpointMeta read_checkpoint_meta(const std::string& path);
 
-/// Format version (1 or 2) of the checkpoint at `path`.  Throws tdfm::Error
-/// when the file is missing or not a tdfm checkpoint.
+/// Format version (1, 2 or 3) of the checkpoint at `path`.  Throws
+/// tdfm::Error when the file is missing or not a tdfm checkpoint.
 [[nodiscard]] std::uint32_t checkpoint_format_version(const std::string& path);
 
 /// Loads weights saved by either save_checkpoint overload into a

@@ -21,6 +21,10 @@ class Conv2D final : public Layer {
   /// Quantizes the [out_c, C*k*k] weight rows to q8_0; forward then runs
   /// im2row + quantize + int8 matmul per image.  Forward-only afterwards.
   void quantize_for_inference() override;
+  [[nodiscard]] std::vector<kernels::Q8Matrix*> quantized_weights() override {
+    return quantized_ ? std::vector<kernels::Q8Matrix*>{&qweight_}
+                      : std::vector<kernels::Q8Matrix*>{};
+  }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
 

@@ -20,6 +20,10 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   void quantize_for_inference() override;
+  [[nodiscard]] std::vector<kernels::Q8Matrix*> quantized_weights() override {
+    return quantized_ ? std::vector<kernels::Q8Matrix*>{&qweight_}
+                      : std::vector<kernels::Q8Matrix*>{};
+  }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::size_t weight_layer_count() const override { return 1; }
 

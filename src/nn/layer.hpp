@@ -15,6 +15,10 @@
 
 #include "tensor/tensor.hpp"
 
+namespace tdfm::kernels {
+struct Q8Matrix;
+}
+
 namespace tdfm::nn {
 
 /// A trainable tensor together with its gradient accumulator.
@@ -56,6 +60,16 @@ class Layer {
   /// reflects the freed storage.  Irreversible; default is a no-op for
   /// layers with nothing to quantize.
   virtual void quantize_for_inference() {}
+
+  /// The q8_0 weight matrices held after quantize_for_inference() (empty
+  /// before quantization and for layers that keep fp32 masters, e.g. the
+  /// fake-quantized depthwise conv).  Non-owning; composite blocks report
+  /// their contents.  This is the mutation surface of the inference-time
+  /// fault model (pipeline::WeightCorruptor) — corrupting through it hits
+  /// the bytes the int8 matmuls actually read.
+  [[nodiscard]] virtual std::vector<kernels::Q8Matrix*> quantized_weights() {
+    return {};
+  }
 
   /// Human-readable layer name for summaries, e.g. "Conv2D(8->16, k3 s1 p1)".
   [[nodiscard]] virtual std::string name() const = 0;

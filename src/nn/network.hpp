@@ -55,6 +55,12 @@ class Network {
   }
   [[nodiscard]] bool quantized() const { return quantized_; }
 
+  /// The q8_0 weight matrices of a quantized network (empty before
+  /// quantization); see Layer::quantized_weights.
+  [[nodiscard]] std::vector<kernels::Q8Matrix*> quantized_weights() {
+    return body_->quantized_weights();
+  }
+
   /// Copies all parameter values from another structurally identical
   /// network (same factory, same seed discipline).  Used by knowledge
   /// distillation to snapshot the teacher.

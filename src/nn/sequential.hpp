@@ -73,6 +73,14 @@ class Sequential : public Layer {
     for (auto& layer : layers_) layer->quantize_for_inference();
   }
 
+  std::vector<kernels::Q8Matrix*> quantized_weights() override {
+    std::vector<kernels::Q8Matrix*> qs;
+    for (auto& layer : layers_) {
+      for (auto* q : layer->quantized_weights()) qs.push_back(q);
+    }
+    return qs;
+  }
+
   [[nodiscard]] std::string name() const override { return "Sequential"; }
 
   [[nodiscard]] std::size_t weight_layer_count() const override {

@@ -1,0 +1,94 @@
+#include "pipeline/canary.hpp"
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "metrics/metrics.hpp"
+
+namespace tdfm::pipeline {
+
+namespace {
+
+void check_config(const CanaryConfig& config) {
+  TDFM_CHECK(config.ad_threshold >= 0.0 && config.ad_threshold <= 1.0,
+             "canary ad_threshold must be in [0, 1]");
+  TDFM_CHECK(config.accuracy_margin >= 0.0,
+             "canary accuracy_margin must be non-negative");
+  TDFM_CHECK(config.rollback_factor >= 1.0,
+             "canary rollback_factor must be >= 1 (the hysteresis band)");
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+CanaryVerdict judge_candidate(std::span<const int> live_preds,
+                              std::span<const int> candidate_preds,
+                              std::span<const int> truth,
+                              const CanaryConfig& config) {
+  check_config(config);
+  TDFM_CHECK(live_preds.size() == truth.size() &&
+                 candidate_preds.size() == truth.size(),
+             "canary judge needs aligned prediction/truth vectors");
+  CanaryVerdict v;
+  v.live_accuracy = metrics::accuracy(live_preds, truth);
+  v.candidate_accuracy = metrics::accuracy(candidate_preds, truth);
+  // Live plays golden, candidate plays faulty: the AD is the regression the
+  // swap would introduce on requests the live version answers correctly.
+  v.ad = metrics::accuracy_delta(live_preds, candidate_preds, truth);
+  v.reverse_ad = metrics::reverse_accuracy_delta(live_preds, candidate_preds, truth);
+
+  if (v.ad > config.ad_threshold) {
+    v.action = Action::kHold;
+    v.reason = "ad " + fmt(v.ad) + " > threshold " + fmt(config.ad_threshold);
+  } else if (v.candidate_accuracy + config.accuracy_margin < v.live_accuracy) {
+    v.action = Action::kHold;
+    v.reason = "candidate accuracy " + fmt(v.candidate_accuracy) +
+               " trails live " + fmt(v.live_accuracy) + " beyond margin " +
+               fmt(config.accuracy_margin);
+  } else {
+    v.action = Action::kPromote;
+    v.reason = "ad " + fmt(v.ad) + " <= threshold " +
+               fmt(config.ad_threshold) + ", accuracy " +
+               fmt(v.candidate_accuracy) + " vs live " + fmt(v.live_accuracy);
+  }
+  return v;
+}
+
+CanaryVerdict judge_live_health(std::span<const int> reference_preds,
+                                std::span<const int> live_preds,
+                                std::span<const int> truth,
+                                const CanaryConfig& config) {
+  check_config(config);
+  TDFM_CHECK(reference_preds.size() == truth.size() &&
+                 live_preds.size() == truth.size(),
+             "health judge needs aligned prediction/truth vectors");
+  CanaryVerdict v;
+  v.live_accuracy = metrics::accuracy(live_preds, truth);
+  // The reference plays golden: a healthy live model reproduces its own
+  // post-promotion predictions exactly (forward passes are deterministic),
+  // so any positive AD here is decay, not noise.
+  v.ad = metrics::accuracy_delta(reference_preds, live_preds, truth);
+  v.reverse_ad = metrics::reverse_accuracy_delta(reference_preds, live_preds, truth);
+
+  // ad > 0 guards the threshold == 0 configuration: a perfectly healthy
+  // model (ad exactly 0) is never rolled back.
+  const double threshold = config.rollback_threshold();
+  if (v.ad > 0.0 && v.ad >= threshold) {
+    v.action = Action::kRollback;
+    v.reason = "health ad " + fmt(v.ad) + " >= rollback threshold " +
+               fmt(threshold);
+  } else {
+    v.action = Action::kHold;
+    v.reason = "health ad " + fmt(v.ad) + " < rollback threshold " +
+               fmt(threshold);
+  }
+  return v;
+}
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,77 @@
+// Canary judgement: the paper's AD metric as a promotion guardrail.
+//
+// The study measures a faulty model against its golden twin with the
+// Accuracy Delta — the fraction of samples the golden model got right that
+// the faulty model gets wrong (§III-C).  The canary controller reuses the
+// metric with the roles recast for serving:
+//
+//   promotion:  the *live* model plays golden, the *candidate* plays faulty.
+//     AD(live, candidate) is the regression the swap would introduce on
+//     traffic the current version already serves correctly — exactly the
+//     risk a canary exists to bound.  Promote iff AD <= ad_threshold AND
+//     the candidate's raw accuracy is not accuracy_margin worse than live.
+//
+//   health:  the *pinned reference predictions* (taken from the live model
+//     right after its own promotion) play golden, the live model now plays
+//     faulty.  A healthy model matches its own reference (AD = 0); weight
+//     corruption or a bad hot swap shows up as health AD > 0.  Roll back
+//     iff health AD >= ad_threshold * rollback_factor.
+//
+// rollback_factor > 1 puts hysteresis between the two thresholds: a
+// candidate that barely failed promotion would not, had it somehow been
+// promoted, immediately trip a rollback — the controller cannot oscillate
+// between promote and rollback on threshold noise.
+//
+// The judges are pure functions of prediction vectors; all serving I/O
+// (shadow evaluation through the engine) lives in OnlinePipeline, which
+// keeps these decision rules unit-testable without threads.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "pipeline/decision_log.hpp"
+
+namespace tdfm::pipeline {
+
+struct CanaryConfig {
+  /// Promotion guardrail: max AD of candidate vs live on the canary slice.
+  double ad_threshold = 0.10;
+  /// Candidate accuracy may trail live accuracy by at most this much.
+  double accuracy_margin = 0.02;
+  /// Health AD that forces a rollback, as a multiple of ad_threshold
+  /// (must be >= 1: the hysteresis band).
+  double rollback_factor = 1.5;
+
+  [[nodiscard]] double rollback_threshold() const {
+    return ad_threshold * rollback_factor;
+  }
+};
+
+/// A judge's output: the action plus the numbers that justify it (copied
+/// into the decision log verbatim).
+struct CanaryVerdict {
+  Action action = Action::kHold;
+  double candidate_accuracy = 0.0;
+  double live_accuracy = 0.0;
+  double ad = 0.0;
+  double reverse_ad = 0.0;
+  std::string reason;
+};
+
+/// Judges a candidate against the live model on the canary slice.  Returns
+/// kPromote or kHold; never kRollback (a bad candidate is simply not
+/// promoted — rollback is for the live model failing its own history).
+[[nodiscard]] CanaryVerdict judge_candidate(std::span<const int> live_preds,
+                                            std::span<const int> candidate_preds,
+                                            std::span<const int> truth,
+                                            const CanaryConfig& config);
+
+/// Judges the live model against its pinned post-promotion reference
+/// predictions.  Returns kRollback or kHold.
+[[nodiscard]] CanaryVerdict judge_live_health(std::span<const int> reference_preds,
+                                              std::span<const int> live_preds,
+                                              std::span<const int> truth,
+                                              const CanaryConfig& config);
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,98 @@
+// Crash-safe JSONL decision log of the online pipeline.
+//
+// Every control decision the canary controller takes — bootstrap, promote,
+// hold, rollback, and the corruption drill — is appended as one flat JSON
+// object under the journal's crash contract (core::AppendFile: one locked
+// write(2) + fdatasync per record).  Load recovers exactly like the study
+// journal: a torn final line (kill -9 mid-append) is dropped with a warning,
+// terminated garbage throws, a missing file is a fresh log, an unreadable
+// one is an error.
+//
+// Records deliberately contain *no wall-clock fields*: for a pinned seed and
+// round schedule the log replays byte-identically across reruns and worker
+// counts (the smoke script asserts this with cmp), which is what makes the
+// log audit-grade — any byte difference between two runs is a real
+// behavioural difference, never timing noise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/file_lock.hpp"
+
+namespace tdfm::pipeline {
+
+/// What the controller decided (decision-log `action` field).
+enum class Action {
+  kBootstrap,  ///< initial version installed without a live model to beat
+  kPromote,    ///< candidate passed the AD guardrail; hot-swapped in
+  kHold,       ///< candidate failed the guardrail; live version kept
+  kRollback,   ///< live health breached; last good version restored
+  kCorrupt,    ///< fault drill: corrupted weights installed, bypassing canary
+};
+
+[[nodiscard]] const char* action_name(Action action);
+[[nodiscard]] Action action_from_name(std::string_view name);
+
+/// One decision.  Accuracy/AD fields measure the canary slice; fields that
+/// do not apply to an action (e.g. candidate accuracy of a rollback) stay 0.
+struct Decision {
+  std::uint64_t round = 0;  ///< stream round the decision was taken in
+  Action action = Action::kHold;
+  std::uint64_t live_version = 0;       ///< version serving when judged
+  std::uint64_t candidate_version = 0;  ///< version installed (0 = none)
+  std::string technique;                ///< mitigation technique of the candidate
+  std::uint64_t window_first_seq = 0;   ///< training-window provenance
+  std::uint64_t window_last_seq = 0;
+  std::uint64_t window_samples = 0;
+  double candidate_accuracy = 0.0;  ///< canary-slice accuracy of the candidate
+  double live_accuracy = 0.0;       ///< canary-slice accuracy of the live model
+  double candidate_ad = 0.0;  ///< AD of candidate vs live (live plays golden)
+  double reverse_ad = 0.0;
+  double ad_threshold = 0.0;        ///< guardrail the decision was taken under
+  double rollback_threshold = 0.0;  ///< health AD that forces a rollback
+  bool quantized = false;   ///< candidate deployed in q8_0 form
+  bool corrupted = false;   ///< candidate had corrupted weights (drill)
+  std::string reason;       ///< one-line human-readable justification
+
+  [[nodiscard]] bool operator==(const Decision&) const = default;
+};
+
+/// Serialises a decision as one flat JSON line (no trailing newline).
+/// Doubles use %.17g so parse(to_jsonl(d)) == d bit for bit.
+[[nodiscard]] std::string to_jsonl(const Decision& d);
+
+/// Parses one log line; throws ConfigError on malformed JSON or a record
+/// missing its action.  Unknown keys are ignored (forward compatibility).
+[[nodiscard]] Decision parse_decision(std::string_view line);
+
+/// Append-only decision log bound to a JSONL file (or in-memory only when
+/// constructed with an empty path).
+class DecisionLog {
+ public:
+  explicit DecisionLog(std::string path = "") : path_(std::move(path)) {}
+
+  /// Loads an existing log, recovering a torn tail (see file comment).
+  /// `recovered_torn_tail`, when non-null, reports whether one was dropped.
+  [[nodiscard]] static std::vector<Decision> load(
+      const std::string& path, bool* recovered_torn_tail = nullptr);
+
+  /// Appends durably (write + fdatasync under flock) and records the
+  /// decision in memory.  Thread-safe.
+  void append(Decision decision);
+
+  [[nodiscard]] std::vector<Decision> decisions() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::unique_ptr<core::AppendFile> file_;
+  std::vector<Decision> decisions_;
+};
+
+}  // namespace tdfm::pipeline

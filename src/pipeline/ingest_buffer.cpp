@@ -1,0 +1,100 @@
+#include "pipeline/ingest_buffer.hpp"
+
+#include <cstring>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm::pipeline {
+
+IngestBuffer::IngestBuffer(IngestConfig config) : config_(config) {
+  TDFM_CHECK(config_.window > 0, "ingest window must be >= 1");
+  TDFM_CHECK(config_.hop <= config_.window,
+             "ingest hop must not exceed the window (gaps would drop data "
+             "silently; use the capacity bound for load shedding)");
+  TDFM_CHECK(config_.capacity >= config_.window,
+             "ingest capacity must hold at least one window");
+}
+
+void IngestBuffer::push(const StreamChunk& chunk) {
+  const data::Dataset& ds = chunk.samples;
+  if (ds.size() == 0) {
+    // A removal-heavy chunk can arrive empty; the watermark still moves
+    // (first_seq == next chunk's first_seq, nothing new observed).
+    return;
+  }
+  if (channels_ == 0) {
+    channels_ = ds.channels();
+    height_ = ds.height();
+    width_ = ds.width();
+    num_classes_ = ds.num_classes;
+    dataset_name_ = ds.name;
+  } else {
+    TDFM_CHECK(channels_ == ds.channels() && height_ == ds.height() &&
+                   width_ == ds.width() && num_classes_ == ds.num_classes,
+               "stream chunk geometry changed mid-stream");
+  }
+
+  const std::size_t row = channels_ * height_ * width_;
+  std::uint64_t dropped_now = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    Sample s;
+    s.pixels.resize(row);
+    std::memcpy(s.pixels.data(), ds.images.data() + i * row, row * sizeof(float));
+    s.label = ds.labels[i];
+    s.seq = chunk.first_seq + i;
+    if (pending_.size() >= config_.capacity) {
+      pending_.pop_front();  // live stream: stale samples lose value first
+      ++dropped_now;
+    }
+    pending_.push_back(std::move(s));
+    ++stats_.pushed;
+  }
+  stats_.dropped += dropped_now;
+  stats_.watermark = chunk.first_seq + ds.size();
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter pushed =
+        obs::Registry::global().counter("pipeline.ingest.pushed");
+    static obs::Counter dropped =
+        obs::Registry::global().counter("pipeline.ingest.dropped");
+    static obs::Gauge watermark =
+        obs::Registry::global().gauge("pipeline.ingest.watermark");
+    pushed.add(ds.size());
+    if (dropped_now > 0) dropped.add(dropped_now);
+    watermark.set(static_cast<double>(stats_.watermark));
+  }
+}
+
+data::Dataset IngestBuffer::take_window(std::uint64_t* first_seq,
+                                        std::uint64_t* last_seq) {
+  TDFM_CHECK(window_ready(), "take_window called before a window is ready");
+  const std::size_t row = channels_ * height_ * width_;
+
+  data::Dataset window;
+  window.name = dataset_name_ + "-window";
+  window.num_classes = num_classes_;
+  window.images = Tensor({config_.window, channels_, height_, width_});
+  window.labels.reserve(config_.window);
+  for (std::size_t i = 0; i < config_.window; ++i) {
+    const Sample& s = pending_[i];
+    std::memcpy(window.images.data() + i * row, s.pixels.data(),
+                row * sizeof(float));
+    window.labels.push_back(s.label);
+  }
+  if (first_seq) *first_seq = pending_.front().seq;
+  if (last_seq) *last_seq = pending_[config_.window - 1].seq;
+
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(hop()));
+  ++stats_.windows;
+  if (obs::metrics_enabled()) {
+    static obs::Counter windows =
+        obs::Registry::global().counter("pipeline.ingest.windows");
+    windows.add(1);
+  }
+  window.validate();
+  return window;
+}
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,84 @@
+// Retraining-window accumulator for the faulty ingest stream.
+//
+// Stream chunks land here; the buffer hands the Retrainer fixed-size windows
+// of the most recent samples.  Two window disciplines:
+//   - tumbling (hop == 0 or hop == window): consecutive windows are
+//     disjoint — every sample trains at most once;
+//   - sliding  (0 < hop < window): consecutive windows overlap by
+//     window - hop samples — recent data trains repeatedly, smoothing
+//     candidate quality at the cost of extra epochs over old samples.
+//
+// The buffer is bounded: when more than `capacity` samples are pending the
+// *oldest* are dropped (the stream is live; stale samples lose value first)
+// and counted.  The watermark — the highest sequence number buffered so far,
+// plus one — tells observers how far the stream has progressed even when
+// drops occurred; watermark - pushed == dropped-by-overflow + taken.
+// Everything is exported via obs: pipeline.ingest.pushed / .dropped /
+// .windows counters and a pipeline.ingest.watermark gauge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pipeline/stream_source.hpp"
+
+namespace tdfm::pipeline {
+
+struct IngestConfig {
+  std::size_t window = 256;  ///< samples per retraining window
+  std::size_t hop = 0;       ///< samples consumed per window; 0 = tumbling
+  std::size_t capacity = 4096;  ///< pending-sample bound; overflow drops oldest
+};
+
+struct IngestStats {
+  std::uint64_t pushed = 0;   ///< samples accepted into the buffer
+  std::uint64_t dropped = 0;  ///< oldest samples evicted by the capacity bound
+  std::uint64_t windows = 0;  ///< windows handed to the retrainer
+  std::uint64_t watermark = 0;  ///< 1 + highest sequence number seen
+};
+
+class IngestBuffer {
+ public:
+  explicit IngestBuffer(IngestConfig config);
+
+  /// Appends every sample of `chunk` (evicting the oldest on overflow).
+  void push(const StreamChunk& chunk);
+
+  /// True when a full window is pending.
+  [[nodiscard]] bool window_ready() const { return pending_.size() >= config_.window; }
+
+  /// Extracts the oldest full window as a training dataset, consuming hop()
+  /// samples from the buffer.  Requires window_ready().  The window's
+  /// sequence range is reported through the out-params (for decision-log
+  /// provenance).
+  [[nodiscard]] data::Dataset take_window(std::uint64_t* first_seq = nullptr,
+                                          std::uint64_t* last_seq = nullptr);
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::size_t hop() const {
+    return config_.hop == 0 ? config_.window : config_.hop;
+  }
+  [[nodiscard]] const IngestConfig& config() const { return config_; }
+  [[nodiscard]] const IngestStats& stats() const { return stats_; }
+
+ private:
+  struct Sample {
+    std::vector<float> pixels;
+    int label = 0;
+    std::uint64_t seq = 0;
+  };
+
+  IngestConfig config_;
+  IngestStats stats_;
+  std::deque<Sample> pending_;
+  // Geometry adopted from the first pushed chunk.
+  std::size_t channels_ = 0;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::size_t num_classes_ = 0;
+  std::string dataset_name_;
+};
+
+}  // namespace tdfm::pipeline

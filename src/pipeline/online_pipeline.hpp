@@ -1,0 +1,123 @@
+// The closed loop: faulty stream -> ingest -> retrain -> canary -> hot swap.
+//
+// OnlinePipeline composes every subsystem into the ROADMAP's headline
+// production scenario, in one process against live traffic:
+//
+//   StreamSource --chunks--> IngestBuffer --windows--> Retrainer
+//        |                                                 |
+//        |                                            candidate vN+1
+//   live traffic                                           |
+//        v                                                 v
+//   InferenceEngine <--hot swap-- ModelRegistry <-- CanaryController
+//        |                                                 ^
+//        +------- shadow evaluation (canary slice) --------+
+//
+// Round structure (one round = one stream chunk):
+//   1. stream.next() -> buffer.push()  (faults ride in with the data)
+//   2. a slice of live traffic is served through the engine
+//   3. on retrain rounds: the canary slice is shadow-evaluated through the
+//      engine; live health is judged against the pinned reference first
+//      (rollback beats retraining — a corrupted model must not judge its
+//      own successor), then a candidate is fitted from the latest window
+//      and judged with the AD guardrail; promote publishes via the
+//      registry's hot swap and re-pins the reference
+//   4. on the configured drill round, corrupted weights are installed
+//      bypassing the canary (kCorrupt) — the next health check catches the
+//      breach and rolls back to the last good version
+// Every decision lands in the crash-safe DecisionLog.
+//
+// Determinism: with a fixed round count, the decision log is bit-identical
+// across reruns and worker/thread counts.  Three properties compose into
+// that guarantee: the stream and retrainer use role-scoped content seeds;
+// per-sample forward passes are batch-composition-independent (row-wise
+// GEMM, per-image im2col, BN running stats, row-wise activation
+// quantization), so engine-served predictions do not depend on how the
+// batching queue happened to slice the traffic; and engine teardown drains
+// instead of rejecting.  Records carry no wall-clock fields.
+//
+// Promotion transport: with a checkpoint_dir, every promoted candidate is
+// saved as a self-describing checkpoint (v3 quantize flag when serving q8)
+// and published via ModelRegistry::load — the crash-tolerant path, since
+// the last good version survives the process.  Without one, promotion
+// installs the fitted network directly and rollback restores from an
+// in-memory fp32 weight snapshot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "pipeline/canary.hpp"
+#include "pipeline/decision_log.hpp"
+#include "pipeline/ingest_buffer.hpp"
+#include "pipeline/retrainer.hpp"
+#include "pipeline/stream_source.hpp"
+#include "serve/inference_engine.hpp"
+
+namespace tdfm::pipeline {
+
+struct PipelineConfig {
+  data::SyntheticSpec dataset;  ///< base data replayed by the stream
+  StreamConfig stream;
+  IngestConfig ingest;
+  RetrainerConfig retrain;
+  CanaryConfig canary;
+  serve::EngineConfig engine;
+
+  /// Fraction of the test split held out as the canary slice (shadow
+  /// evaluation); the rest is the live-traffic pool.
+  double canary_fraction = 0.25;
+  std::size_t serve_per_round = 32;  ///< live requests submitted per round
+  std::size_t retrain_every = 2;     ///< rounds between retraining attempts
+  /// Rounds to run.  0 = run for duration_s of wall time instead (the
+  /// decision log is then NOT replay-stable; prefer rounds for audits).
+  std::size_t rounds = 8;
+  double duration_s = 0.0;
+  /// Round at which the corruption drill installs a corrupted model
+  /// bypassing the canary (0 = no drill).
+  std::uint64_t corrupt_round = 0;
+  CorruptionSpec corruption;  ///< the drill's fault
+  bool quantize = false;      ///< serve candidates in q8_0 form
+  std::size_t bootstrap_epochs = 1;  ///< deliberately weak first version
+  std::string model_name = "pipeline";
+  std::string decision_log_path;  ///< empty = in-memory log only
+  std::string checkpoint_dir;     ///< empty = in-memory promotion transport
+  std::uint64_t seed = 42;        ///< master seed (re-scoped per role)
+};
+
+struct PipelineResult {
+  std::vector<Decision> decisions;
+  std::uint64_t rounds_run = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t holds = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t live_version = 0;  ///< version serving at teardown
+  std::uint64_t samples_streamed = 0;
+  IngestStats ingest;
+  serve::EngineStats engine;
+  std::uint64_t traffic_served = 0;
+  std::uint64_t traffic_correct = 0;
+
+  [[nodiscard]] double traffic_accuracy() const {
+    return traffic_served == 0
+               ? 0.0
+               : static_cast<double>(traffic_correct) /
+                     static_cast<double>(traffic_served);
+  }
+};
+
+class OnlinePipeline {
+ public:
+  explicit OnlinePipeline(PipelineConfig config);
+
+  /// Runs bootstrap + the round loop + drained teardown.  Reentrant-safe
+  /// to call once; builds and tears down its own registry and engine.
+  [[nodiscard]] PipelineResult run();
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,11 @@
+// Umbrella header for tdfm::pipeline — the online faulty-stream ingest,
+// continuous retraining, and AD-guarded canary hot-swap loop (DESIGN.md §4i).
+#pragma once
+
+#include "pipeline/canary.hpp"
+#include "pipeline/decision_log.hpp"
+#include "pipeline/ingest_buffer.hpp"
+#include "pipeline/online_pipeline.hpp"
+#include "pipeline/retrainer.hpp"
+#include "pipeline/stream_source.hpp"
+#include "pipeline/weight_corruptor.hpp"

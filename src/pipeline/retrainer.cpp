@@ -1,0 +1,158 @@
+#include "pipeline/retrainer.hpp"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/error.hpp"
+#include "mitigation/classifier.hpp"
+#include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "study/spec.hpp"
+
+namespace tdfm::pipeline {
+
+Retrainer::Retrainer(RetrainerConfig config) : config_(std::move(config)) {
+  TDFM_CHECK(config_.technique != mitigation::TechniqueKind::kEnsemble,
+             "the pipeline promotes one network per version; ensemble "
+             "retraining is not supported (pick a single-model technique)");
+  TDFM_CHECK(!config_.fault_aware ||
+                 config_.technique == mitigation::TechniqueKind::kBaseline,
+             "fault-aware training owns the epoch hook and composes only "
+             "with the baseline technique");
+  if (config_.metamorphic) {
+    TDFM_CHECK(config_.metamorphic_factor >= 1,
+               "metamorphic_factor must be >= 1 when metamorphic is on");
+  }
+}
+
+std::string Retrainer::technique_label() const {
+  std::string label = mitigation::technique_name(config_.technique);
+  if (config_.metamorphic) label += "+meta";
+  if (config_.fault_aware) label += "+fat";
+  return label;
+}
+
+data::Dataset Retrainer::metamorphic_augment(const data::Dataset& window,
+                                             std::size_t factor, Rng& rng) {
+  const std::size_t n = window.size();
+  const std::size_t c = window.channels();
+  const std::size_t h = window.height();
+  const std::size_t w = window.width();
+  const std::size_t row = c * h * w;
+
+  data::Dataset out;
+  out.name = window.name + "+meta";
+  out.num_classes = window.num_classes;
+  out.images = Tensor({n * (factor + 1), c, h, w});
+  out.labels.reserve(n * (factor + 1));
+  // Originals first (byte-copied), then `factor` transformed copies of the
+  // whole window — keeping every original intact distinguishes metamorphic
+  // augmentation from plain noise injection.
+  std::memcpy(out.images.data(), window.images.data(),
+              n * row * sizeof(float));
+  out.labels = window.labels;
+
+  float* dst = out.images.data() + n * row;
+  for (std::size_t copy = 0; copy < factor; ++copy) {
+    for (std::size_t i = 0; i < n; ++i, dst += row) {
+      const float* src = window.images.data() + i * row;
+      // Label-preserving transform triple (arXiv:2412.01958's geometric +
+      // photometric metamorphic relations, scaled to 16x16 inputs):
+      const bool flip = rng.bernoulli(0.5);
+      const float brightness = rng.uniform(0.9F, 1.1F);
+      const float sigma = 0.02F;
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        for (std::size_t y = 0; y < h; ++y) {
+          for (std::size_t x = 0; x < w; ++x) {
+            const std::size_t sx = flip ? (w - 1 - x) : x;
+            float v = src[(ch * h + y) * w + sx];
+            v = v * brightness + sigma * rng.normal();
+            v = v < 0.0F ? 0.0F : (v > 1.0F ? 1.0F : v);
+            dst[(ch * h + y) * w + x] = v;
+          }
+        }
+      }
+      out.labels.push_back(window.labels[i]);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+std::unique_ptr<nn::Network> Retrainer::fit_fault_aware(
+    const data::Dataset& window, Rng& rng) {
+  // Baseline-style fit with a per-epoch corruption hook: optimisation keeps
+  // repairing simulated weight damage, settling in corruption-robust basins.
+  Rng model_rng = rng.fork(0xbaceU);
+  auto net = models::build_model(config_.arch, config_.model_config, model_rng);
+  auto targets = std::make_shared<Tensor>(
+      nn::one_hot(window.labels, window.num_classes));
+  nn::Trainer trainer(models::tuned_options(config_.arch, config_.train_opts));
+  Rng train_rng = rng.fork(0x7141u);
+  Rng hook_rng = rng.fork(0xfa17u);
+  const CorruptionSpec base_spec = config_.fault_corruption;
+  const auto hook = [&](std::size_t epoch, nn::Network& n) {
+    (void)epoch;
+    CorruptionSpec spec = base_spec;
+    spec.seed = hook_rng.next();  // fresh corruption pattern every epoch
+    (void)corrupt_network(n, spec);
+  };
+  trainer.fit(*net, window.images,
+              mitigation::make_target_loss(
+                  std::make_shared<nn::CrossEntropyLoss>(), targets),
+              train_rng, hook);
+  return net;
+}
+
+std::unique_ptr<nn::Network> Retrainer::fit_candidate(
+    const data::Dataset& window, std::uint64_t round) {
+  TDFM_CHECK(window.size() > 0, "cannot retrain on an empty window");
+  obs::Span span("pipeline:retrain");
+
+  // Role-scoped seed: the candidate of round r depends only on (seed, r)
+  // and the window content — not on how many candidates came before.
+  Rng rng(study::stable_hash64(
+      "pipeline-retrain|seed=" + std::to_string(config_.seed) +
+      "|round=" + std::to_string(round)));
+
+  const data::Dataset* train = &window;
+  data::Dataset augmented;
+  if (config_.metamorphic) {
+    Rng aug_rng = rng.fork(0x3e7aU);
+    augmented =
+        metamorphic_augment(window, config_.metamorphic_factor, aug_rng);
+    train = &augmented;
+  }
+
+  std::unique_ptr<nn::Network> net;
+  if (config_.fault_aware) {
+    net = fit_fault_aware(*train, rng);
+  } else {
+    mitigation::FitContext ctx;
+    ctx.train = train;
+    ctx.primary_arch = config_.arch;
+    ctx.model_config = config_.model_config;
+    ctx.train_opts = config_.train_opts;
+    ctx.rng = &rng;
+    auto technique =
+        mitigation::make_technique(config_.technique, config_.hyperparams);
+    std::unique_ptr<mitigation::Classifier> classifier = technique->fit(ctx);
+    auto* single =
+        dynamic_cast<mitigation::SingleModelClassifier*>(classifier.get());
+    TDFM_CHECK(single != nullptr,
+               "technique returned a multi-model classifier; the pipeline "
+               "promotes single networks");
+    net = single->release_network();
+  }
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter retrains =
+        obs::Registry::global().counter("pipeline.retrain.count");
+    retrains.add(1);
+  }
+  return net;
+}
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,83 @@
+// Candidate model retraining from ingest windows.
+//
+// Each retraining round fits a fresh candidate on the latest (faulty)
+// window, using any single-model mitigation technique from tdfm::mitigation
+// — the pipeline's per-round answer to the paper's per-study question "which
+// technique survives faulty data best".  Two additional retraining
+// strategies compose with the technique:
+//
+//   metamorphic re-training (arXiv:2412.01958): the window is augmented
+//   with label-preserving metamorphic transforms — horizontal flip,
+//   brightness scaling, low-amplitude Gaussian pixel noise — before
+//   fitting.  The transforms encode invariances the classifier must hold,
+//   so the augmented copies dilute whatever mislabelled samples the stream
+//   injected without needing to identify them.
+//
+//   fault-aware training (arXiv:2502.09374): simulated weight corruption
+//   (pipeline::WeightCorruptor, fp32 path) is injected after every epoch,
+//   so optimisation keeps repairing the damage it will meet at inference
+//   time and settles in weights robust to it.  Implemented via the
+//   trainer's EpochHook; baseline technique only (the hook owns the loop).
+//
+// Training runs on core::ThreadPool via the Trainer's parallel hot paths.
+// Serving is never blocked: engine workers are detached threads that mark
+// themselves ThreadPool::InlineScope, so pool work and batch serving
+// proceed concurrently.  Candidates are deterministic in (config, seed,
+// round) — the Rng is role-scoped per round, never shared with the stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "mitigation/registry.hpp"
+#include "models/model_zoo.hpp"
+#include "pipeline/weight_corruptor.hpp"
+
+namespace tdfm::pipeline {
+
+struct RetrainerConfig {
+  models::Arch arch = models::Arch::kConvNet;
+  models::ModelConfig model_config;
+  mitigation::TechniqueKind technique = mitigation::TechniqueKind::kBaseline;
+  mitigation::Hyperparameters hyperparams;
+  nn::TrainOptions train_opts;
+  /// Metamorphic re-training: augment each window with `metamorphic_factor`
+  /// label-preserving transformed copies per sample.
+  bool metamorphic = false;
+  std::size_t metamorphic_factor = 1;
+  /// Fault-aware training: corrupt the weights after every epoch with
+  /// `fault_corruption` (fraction/mode as configured; seed is re-scoped per
+  /// epoch).  Requires technique == kBaseline.
+  bool fault_aware = false;
+  CorruptionSpec fault_corruption;
+  std::uint64_t seed = 42;
+};
+
+class Retrainer {
+ public:
+  explicit Retrainer(RetrainerConfig config);
+
+  /// Fits one candidate from `window`.  `round` scopes the candidate's
+  /// random streams, so candidate r is bit-identical across reruns and
+  /// thread counts.  Throws ConfigError for ensemble techniques (the
+  /// registry hot-swaps one network per version).
+  [[nodiscard]] std::unique_ptr<nn::Network> fit_candidate(
+      const data::Dataset& window, std::uint64_t round);
+
+  /// The metamorphic augmentation alone: `factor` transformed copies of
+  /// every sample, appended to a copy of `window` (labels preserved).
+  [[nodiscard]] static data::Dataset metamorphic_augment(
+      const data::Dataset& window, std::size_t factor, Rng& rng);
+
+  [[nodiscard]] const RetrainerConfig& config() const { return config_; }
+  [[nodiscard]] std::string technique_label() const;
+
+ private:
+  [[nodiscard]] std::unique_ptr<nn::Network> fit_fault_aware(
+      const data::Dataset& window, Rng& rng);
+
+  RetrainerConfig config_;
+};
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,78 @@
+#include "pipeline/stream_source.hpp"
+
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "study/spec.hpp"
+
+namespace tdfm::pipeline {
+
+StreamSource::StreamSource(data::Dataset base, StreamConfig config)
+    : base_(std::move(base)), config_(config) {
+  TDFM_CHECK(base_.size() > 0, "stream source needs a non-empty base dataset");
+  TDFM_CHECK(config_.chunk_size > 0, "stream chunk_size must be >= 1");
+  TDFM_CHECK(config_.mislabel_percent >= 0.0 && config_.repeat_percent >= 0.0 &&
+                 config_.remove_percent >= 0.0,
+             "stream fault rates must be non-negative");
+  base_.validate();
+}
+
+StreamChunk StreamSource::next() {
+  // Draw the next chunk_size base samples, cycling over the pool.
+  std::vector<std::size_t> indices;
+  indices.reserve(config_.chunk_size);
+  for (std::size_t i = 0; i < config_.chunk_size; ++i) {
+    indices.push_back(cursor_);
+    cursor_ = (cursor_ + 1) % base_.size();
+  }
+  data::Dataset clean = base_.subset(indices);
+
+  std::vector<faults::FaultSpec> specs;
+  if (config_.mislabel_percent > 0.0) {
+    specs.push_back({faults::FaultType::kMislabelling, config_.mislabel_percent});
+  }
+  if (config_.repeat_percent > 0.0) {
+    specs.push_back({faults::FaultType::kRepetition, config_.repeat_percent});
+  }
+  if (config_.remove_percent > 0.0) {
+    specs.push_back({faults::FaultType::kRemoval, config_.remove_percent});
+  }
+
+  StreamChunk chunk;
+  chunk.index = chunk_index_;
+  chunk.first_seq = next_seq_;
+  if (specs.empty()) {
+    chunk.samples = std::move(clean);
+    chunk.report.original_size = chunk.samples.size();
+    chunk.report.resulting_size = chunk.samples.size();
+  } else {
+    // Role-scoped content seed: chunk i's faults depend only on (seed, i),
+    // never on execution interleaving — the stream replays bit-identically.
+    Rng rng(study::stable_hash64("pipeline-stream|seed=" +
+                                 std::to_string(config_.seed) +
+                                 "|chunk=" + std::to_string(chunk_index_)));
+    chunk.samples = faults::inject(clean, specs, rng, &chunk.report);
+  }
+  ++chunk_index_;
+  next_seq_ += chunk.samples.size();
+
+  if (obs::metrics_enabled()) {
+    static obs::Counter samples =
+        obs::Registry::global().counter("pipeline.stream.samples");
+    static obs::Counter mislabelled =
+        obs::Registry::global().counter("pipeline.stream.mislabelled");
+    static obs::Counter repeated =
+        obs::Registry::global().counter("pipeline.stream.repeated");
+    static obs::Counter removed =
+        obs::Registry::global().counter("pipeline.stream.removed");
+    samples.add(chunk.samples.size());
+    mislabelled.add(chunk.report.mislabelled);
+    repeated.add(chunk.report.repeated);
+    removed.add(chunk.report.removed);
+  }
+  return chunk;
+}
+
+}  // namespace tdfm::pipeline

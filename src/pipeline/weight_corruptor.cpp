@@ -1,0 +1,135 @@
+#include "pipeline/weight_corruptor.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "core/error.hpp"
+#include "kernels/quant.hpp"
+#include "obs/metrics.hpp"
+
+namespace tdfm::pipeline {
+
+const char* corruption_mode_name(CorruptionMode mode) {
+  switch (mode) {
+    case CorruptionMode::kBitFlip: return "bitflip";
+    case CorruptionMode::kSignFlip: return "signflip";
+    case CorruptionMode::kZero: return "zero";
+    case CorruptionMode::kPerturb: return "perturb";
+  }
+  throw InvariantError("unknown corruption mode");
+}
+
+CorruptionMode corruption_mode_from_name(std::string_view name) {
+  if (name == "bitflip") return CorruptionMode::kBitFlip;
+  if (name == "signflip") return CorruptionMode::kSignFlip;
+  if (name == "zero") return CorruptionMode::kZero;
+  if (name == "perturb") return CorruptionMode::kPerturb;
+  throw ConfigError("unknown corruption mode: " + std::string(name));
+}
+
+namespace {
+
+/// Flips one bit of an fp32 value through its bit pattern.
+float flip_bit(float v, int bit) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= (1U << static_cast<unsigned>(bit));
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+CorruptionReport corrupt_fp32(nn::Network& net, const CorruptionSpec& spec,
+                              Rng& rng) {
+  CorruptionReport report;
+  for (nn::Parameter* param : net.parameters()) {
+    float* data = param->value.data();
+    const std::size_t n = param->numel();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(spec.fraction)) continue;
+      ++report.scalars_hit;
+      float v = data[i];
+      switch (spec.mode) {
+        case CorruptionMode::kBitFlip: {
+          const int bit = spec.bit >= 0 ? spec.bit : rng.range(20, 30);
+          v = flip_bit(v, bit);
+          break;
+        }
+        case CorruptionMode::kSignFlip: v = -v; break;
+        case CorruptionMode::kZero: v = 0.0F; break;
+        case CorruptionMode::kPerturb:
+          v += spec.perturb_sigma * std::fabs(v) * rng.normal();
+          break;
+      }
+      if (!std::isfinite(v)) {
+        // A deployment that serves NaN logits is dead, not degraded; model
+        // the detected-and-masked case so the canary measures degradation.
+        v = 0.0F;
+        ++report.nonfinite_zeroed;
+      }
+      data[i] = v;
+    }
+  }
+  return report;
+}
+
+CorruptionReport corrupt_q8(nn::Network& net, const CorruptionSpec& spec,
+                            Rng& rng) {
+  CorruptionReport report;
+  for (kernels::Q8Matrix* m : net.quantized_weights()) {
+    const std::size_t blocks = m->rows * m->blocks_per_row;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      if (!rng.bernoulli(spec.fraction)) continue;
+      ++report.blocks_hit;
+      switch (spec.mode) {
+        case CorruptionMode::kBitFlip: {
+          // One bit of one code: the low-blast-radius fault (1 of 32
+          // weights, bounded by the block scale).
+          const std::size_t code =
+              b * kernels::kQ8Block + rng.index(kernels::kQ8Block);
+          m->data[code] = static_cast<std::int8_t>(
+              static_cast<std::uint8_t>(m->data[code]) ^
+              (1U << rng.index(8)));
+          break;
+        }
+        case CorruptionMode::kSignFlip: m->scales[b] = -m->scales[b]; break;
+        case CorruptionMode::kZero: m->scales[b] = 0.0F; break;
+        case CorruptionMode::kPerturb: {
+          float s = m->scales[b];
+          s += spec.perturb_sigma * std::fabs(s) * rng.normal();
+          if (!std::isfinite(s)) {
+            s = 0.0F;
+            ++report.nonfinite_zeroed;
+          }
+          m->scales[b] = s;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+CorruptionReport corrupt_network(nn::Network& net, const CorruptionSpec& spec) {
+  TDFM_CHECK(spec.fraction >= 0.0 && spec.fraction <= 1.0,
+             "corruption fraction must be in [0, 1]");
+  TDFM_CHECK(spec.bit >= -1 && spec.bit <= 31,
+             "corruption bit must be -1 (random) or 0..31");
+  Rng rng(spec.seed);
+  const CorruptionReport report = net.quantized()
+                                      ? corrupt_q8(net, spec, rng)
+                                      : corrupt_fp32(net, spec, rng);
+  if (obs::metrics_enabled()) {
+    static obs::Counter hits =
+        obs::Registry::global().counter("pipeline.corrupt.hits");
+    static obs::Counter masked =
+        obs::Registry::global().counter("pipeline.corrupt.nonfinite_zeroed");
+    hits.add(report.scalars_hit + report.blocks_hit);
+    masked.add(report.nonfinite_zeroed);
+  }
+  return report;
+}
+
+}  // namespace tdfm::pipeline

@@ -1,0 +1,65 @@
+// Inference-time weight corruption — the fault model *after* training.
+//
+// The paper's faults live in the training data; deployed models also fail at
+// inference time when their weights decay in memory or on disk (bit flips in
+// fp32 tensors, corrupted q8_0 blocks after quantization — the fault model
+// of arXiv:2502.09374).  WeightCorruptor perturbs a network in place:
+//
+//   fp32 path (unquantized networks): each scalar is hit independently with
+//   probability `fraction`; a hit is a mantissa/exponent bit flip, a sign
+//   flip, a zeroing, or a relative Gaussian perturbation.  Bit flips that
+//   produce non-finite values are zeroed deterministically and counted —
+//   modelling a deployment that detects NaN/Inf weights and masks them.
+//
+//   q8 path (quantized networks): corruption targets the q8_0 blocks the
+//   int8 matmuls actually read (via Layer::quantized_weights): a hit block
+//   gets a random bit of a random code flipped, its scale's sign flipped,
+//   its scale zeroed, or its scale perturbed — scale corruption is the q8
+//   format's high-blast-radius failure (one float scales 32 weights).
+//
+// Corruption is deterministic in spec.seed, so the canary's AD guardrail
+// measures a reproducible fault — and fault-aware retraining (Retrainer)
+// can inject the *same distribution* of corruption during training.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "nn/network.hpp"
+
+namespace tdfm::pipeline {
+
+enum class CorruptionMode {
+  kBitFlip,   ///< flip one randomly chosen bit (fp32 scalar or int8 code)
+  kSignFlip,  ///< negate the scalar (fp32) or the block scale (q8)
+  kZero,      ///< zero the scalar (fp32) or the block scale (q8)
+  kPerturb,   ///< add relative Gaussian noise (sigma * |value|)
+};
+
+[[nodiscard]] const char* corruption_mode_name(CorruptionMode mode);
+[[nodiscard]] CorruptionMode corruption_mode_from_name(std::string_view name);
+
+struct CorruptionSpec {
+  CorruptionMode mode = CorruptionMode::kBitFlip;
+  /// Per-scalar (fp32) or per-block (q8) hit probability.
+  double fraction = 0.01;
+  /// fp32 bit to flip, 0 = LSB of the mantissa .. 31 = sign; -1 draws
+  /// uniformly from bits 20..30 (high mantissa / exponent — the flips that
+  /// actually change behaviour).  Ignored by the other modes.
+  int bit = -1;
+  /// Relative noise scale for kPerturb.
+  float perturb_sigma = 0.5F;
+  std::uint64_t seed = 1;
+};
+
+struct CorruptionReport {
+  std::uint64_t scalars_hit = 0;       ///< fp32 scalars corrupted
+  std::uint64_t blocks_hit = 0;        ///< q8_0 blocks corrupted
+  std::uint64_t nonfinite_zeroed = 0;  ///< NaN/Inf results masked to 0
+};
+
+/// Corrupts `net` in place per `spec`; dispatches on net.quantized().
+/// Deterministic in spec.seed (independent of thread count and call order).
+CorruptionReport corrupt_network(nn::Network& net, const CorruptionSpec& spec);
+
+}  // namespace tdfm::pipeline

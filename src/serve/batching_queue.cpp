@@ -46,7 +46,7 @@ std::future<Response> BatchingQueue::push(Tensor image, Clock::time_point deadli
 
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    if (shutdown_) {
+    if (shutdown_ || draining_) {
       reject(req, Status::kRejectedShutdown);
       return future;
     }
@@ -82,10 +82,14 @@ std::vector<Request> BatchingQueue::pop_batch() {
         ++it;
       }
     }
+    // Draining flushes the backlog without waiting out the delay bound: no
+    // new request can arrive to top a partial batch up, so waiting would
+    // only delay teardown.
     if (pending_.size() >= config_.max_batch_size ||
         (!pending_.empty() &&
-         now - pending_.front().enqueue >=
-             std::chrono::microseconds(config_.max_queue_delay_us))) {
+         (draining_ ||
+          now - pending_.front().enqueue >=
+              std::chrono::microseconds(config_.max_queue_delay_us)))) {
       const std::size_t take = std::min(pending_.size(), config_.max_batch_size);
       std::vector<Request> batch;
       batch.reserve(take);
@@ -95,6 +99,7 @@ std::vector<Request> BatchingQueue::pop_batch() {
       }
       return batch;
     }
+    if (draining_) return {};  // drained dry: the worker-exit signal
     if (pending_.empty()) {
       ready_cv_.wait(lk);
     } else {
@@ -113,6 +118,14 @@ void BatchingQueue::shutdown() {
     drained.swap(pending_);
   }
   for (Request& req : drained) reject(req, Status::kRejectedShutdown);
+  ready_cv_.notify_all();
+}
+
+void BatchingQueue::drain() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
   ready_cv_.notify_all();
 }
 

@@ -12,7 +12,10 @@
 //     rejected immediately (kRejectedQueueFull) instead of queued,
 //   - requests whose deadline expires while queued are rejected at batch
 //     formation (kRejectedDeadline) and never reach a worker,
-//   - shutdown() drains everything still pending with kRejectedShutdown.
+//   - shutdown() rejects everything still pending with kRejectedShutdown,
+//   - drain() instead stops admission but *serves* everything already
+//     queued: pop_batch flushes the remaining requests immediately (no
+//     delay-bound wait) and returns empty only once the queue is dry.
 // Every push therefore resolves its future exactly once.
 #pragma once
 
@@ -51,6 +54,14 @@ class BatchingQueue {
   /// current and future pop_batch calls return empty.  Idempotent.
   void shutdown();
 
+  /// Stops admission (further pushes are rejected with kRejectedShutdown)
+  /// but lets workers flush every already-admitted request: pop_batch hands
+  /// out the backlog in immediate batches and returns empty once the queue
+  /// is dry.  The graceful counterpart of shutdown(), used by canary
+  /// teardown so in-flight shadow requests resolve deterministically.
+  /// Idempotent; a later shutdown() still wins (rejecting any remainder).
+  void drain();
+
   [[nodiscard]] std::size_t depth() const;
   [[nodiscard]] const BatchingConfig& config() const { return config_; }
 
@@ -64,6 +75,7 @@ class BatchingQueue {
   std::condition_variable ready_cv_;
   std::deque<Request> pending_;
   bool shutdown_ = false;
+  bool draining_ = false;
   std::uint64_t rejected_capacity_ = 0;
   std::uint64_t rejected_deadline_ = 0;
 };

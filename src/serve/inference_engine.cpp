@@ -87,6 +87,17 @@ void InferenceEngine::shutdown() {
   workers_.clear();
 }
 
+void InferenceEngine::drain() {
+  if (stopped_.exchange(true)) return;
+  queue_.drain();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  // Belt and braces: nothing can be pending (workers exit only on a dry
+  // drained queue), but mark the queue terminally shut so any
+  // post-teardown push is rejected through the same path as shutdown().
+  queue_.shutdown();
+}
+
 EngineStats InferenceEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);

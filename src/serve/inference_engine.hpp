@@ -86,6 +86,16 @@ class InferenceEngine {
   /// Stops admission, rejects everything queued, joins workers.  Idempotent.
   void shutdown();
 
+  /// Graceful teardown: stops admission, lets the workers *serve* every
+  /// already-admitted request, then joins them.  Because each accepted
+  /// request resolves with a real prediction instead of kRejectedShutdown,
+  /// callers that submitted a fixed request sequence observe a
+  /// deterministic response set regardless of how teardown races batch
+  /// formation — the property the pipeline's byte-stable decision log
+  /// relies on.  Idempotent, and interchangeable with shutdown() once
+  /// either has run.
+  void drain();
+
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const EngineConfig& config() const { return config_; }
   [[nodiscard]] const std::string& model_name() const { return model_name_; }

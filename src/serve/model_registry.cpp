@@ -165,7 +165,11 @@ std::uint64_t ModelRegistry::load(const std::string& name,
                                   bool quantize) {
   const nn::CheckpointMeta meta = nn::read_checkpoint_meta(checkpoint_path);
   const models::Arch arch = models::arch_from_name(meta.arch);
-  return load(name, checkpoint_path, arch, models::config_from_meta(meta), quantize);
+  // A v3 header records the deployment form: a checkpoint saved as
+  // "quantized" is re-quantized on load even when the caller passes false,
+  // so promoted q8 candidates never silently revert to fp32.
+  return load(name, checkpoint_path, arch, models::config_from_meta(meta),
+              quantize || meta.quantize);
 }
 
 std::uint64_t ModelRegistry::load(const std::string& name,
@@ -190,8 +194,10 @@ std::uint64_t ModelRegistry::load_ensemble(
   std::vector<MemberInit> members;
   members.reserve(checkpoint_paths.size());
   Rng rng(0x10adu);
+  bool any_quantized = quantize;
   for (const std::string& path : checkpoint_paths) {
     const nn::CheckpointMeta meta = nn::read_checkpoint_meta(path);
+    any_quantized = any_quantized || meta.quantize;
     MemberInit member;
     member.factory = models::make_factory(models::arch_from_name(meta.arch),
                                           models::config_from_meta(meta));
@@ -199,7 +205,9 @@ std::uint64_t ModelRegistry::load_ensemble(
     nn::load_checkpoint(*member.fitted, path);
     members.push_back(std::move(member));
   }
-  return publish(name, std::move(members), quantize);
+  // Quantization is a property of the served version, so one member saved
+  // quantized promotes the whole ensemble to q8 serving form.
+  return publish(name, std::move(members), any_quantized);
 }
 
 ModelRegistry::Handle ModelRegistry::handle(const std::string& name) {

@@ -142,6 +142,68 @@ TEST(Checkpoint, V2WrongScalarCountRejected) {
   EXPECT_THROW(load_checkpoint(small, file.path), Error);
 }
 
+TEST(Checkpoint, QuantizeFlagSelectsV3AndRoundTrips) {
+  Rng rng(12);
+  auto a = make_net(rng);
+  auto b = make_net(rng);
+  const TempFile file("ckpt_v3_roundtrip.bin");
+  CheckpointMeta meta = toy_meta();
+  meta.quantize = true;
+  save_checkpoint(*a, file.path, meta);
+  EXPECT_EQ(checkpoint_format_version(file.path), 3U);
+  const CheckpointMeta read = read_checkpoint_meta(file.path);
+  EXPECT_TRUE(read.quantize);
+  EXPECT_EQ(read.arch, meta.arch);
+  // Weights are stored fp32 regardless of the deployment flag: the loader
+  // restores them exactly and re-quantizes afterwards if it honours it.
+  load_checkpoint(*b, file.path);
+  EXPECT_EQ(a->save_weights(), b->save_weights());
+}
+
+TEST(Checkpoint, UnquantizedMetaStaysByteIdenticalV2) {
+  // The v3 flag word must not leak into checkpoints that do not need it —
+  // existing v2 readers and byte-comparison tooling rely on that.
+  Rng rng(13);
+  auto a = make_net(rng);
+  const TempFile v2a("ckpt_v2_stable_a.bin");
+  const TempFile v2b("ckpt_v2_stable_b.bin");
+  save_checkpoint(*a, v2a.path, toy_meta());
+  CheckpointMeta meta = toy_meta();
+  meta.quantize = false;  // explicit default
+  save_checkpoint(*a, v2b.path, meta);
+  EXPECT_EQ(checkpoint_format_version(v2a.path), 2U);
+  std::ifstream ina(v2a.path, std::ios::binary);
+  std::ifstream inb(v2b.path, std::ios::binary);
+  const std::string blob_a((std::istreambuf_iterator<char>(ina)),
+                           std::istreambuf_iterator<char>());
+  const std::string blob_b((std::istreambuf_iterator<char>(inb)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(blob_a, blob_b);
+}
+
+TEST(Checkpoint, UnknownV3FlagRejected) {
+  Rng rng(14);
+  auto a = make_net(rng);
+  const TempFile file("ckpt_v3_badflag.bin");
+  CheckpointMeta meta = toy_meta();
+  meta.quantize = true;
+  save_checkpoint(*a, file.path, meta);
+  // Flip an undefined flag bit in place — readers must refuse flags they
+  // don't know rather than silently mis-deploy.  v3 layout: magic(8) +
+  // arch_len(4) + arch("Toy" = 3) + four u32 geometry fields(16), then the
+  // flags word.
+  std::ifstream in(file.path, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t flags_pos = 8 + 4 + meta.arch.size() + 16;
+  ASSERT_EQ(blob[flags_pos], '\x01');  // kFlagQuantize, little-endian
+  blob[flags_pos] = static_cast<char>(0x81);
+  std::ofstream(file.path, std::ios::binary | std::ios::trunc) << blob;
+  EXPECT_THROW((void)read_checkpoint_meta(file.path), Error);
+  EXPECT_THROW(load_checkpoint(*a, file.path), Error);
+}
+
 TEST(Checkpoint, WrongArchitectureRejected) {
   Rng rng(5);
   auto a = make_net(rng);

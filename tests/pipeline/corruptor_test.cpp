@@ -1,0 +1,221 @@
+// WeightCorruptor (fp32 + q8_0 paths) and the Retrainer's metamorphic /
+// fault-aware training modes.
+#include "pipeline/retrainer.hpp"
+#include "pipeline/weight_corruptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "data/synthetic.hpp"
+#include "kernels/quant.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace tdfm::pipeline {
+namespace {
+
+models::ModelConfig tiny_config() {
+  models::ModelConfig c;
+  c.in_channels = 3;
+  c.image_size = 16;
+  c.num_classes = 5;
+  c.width = 2;
+  return c;
+}
+
+std::unique_ptr<nn::Network> tiny_net(std::uint64_t seed = 11) {
+  Rng rng(seed);
+  return models::build_model(models::Arch::kConvNet, tiny_config(), rng);
+}
+
+data::Dataset tiny_window() {
+  data::SyntheticSpec spec;
+  spec.scale = 0.2;
+  return data::generate(spec).train;
+}
+
+TEST(WeightCorruptor, DeterministicInSeed) {
+  auto a = tiny_net();
+  auto b = tiny_net();
+  ASSERT_EQ(a->save_weights(), b->save_weights());
+  CorruptionSpec spec;
+  spec.mode = CorruptionMode::kBitFlip;
+  spec.fraction = 0.05;
+  spec.seed = 77;
+  const CorruptionReport ra = corrupt_network(*a, spec);
+  const CorruptionReport rb = corrupt_network(*b, spec);
+  EXPECT_EQ(ra.scalars_hit, rb.scalars_hit);
+  EXPECT_GT(ra.scalars_hit, 0U);
+  EXPECT_EQ(a->save_weights(), b->save_weights());  // same damage, bit for bit
+
+  auto c = tiny_net();
+  spec.seed = 78;
+  (void)corrupt_network(*c, spec);
+  EXPECT_NE(a->save_weights(), c->save_weights());  // different seed, different damage
+}
+
+TEST(WeightCorruptor, ModesActOnScalarsAsAdvertised) {
+  const auto weights_of = [](CorruptionMode mode) {
+    auto net = tiny_net();
+    CorruptionSpec spec;
+    spec.mode = mode;
+    spec.fraction = 0.2;
+    spec.seed = 5;
+    const CorruptionReport r = corrupt_network(*net, spec);
+    EXPECT_GT(r.scalars_hit, 0U);
+    return net->save_weights();
+  };
+  const std::vector<float> original = tiny_net()->save_weights();
+  const std::vector<float> zeroed = weights_of(CorruptionMode::kZero);
+  const std::vector<float> flipped = weights_of(CorruptionMode::kSignFlip);
+  const std::vector<float> perturbed = weights_of(CorruptionMode::kPerturb);
+
+  std::size_t zeros = 0;
+  std::size_t sign_changes = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i] != 0.0F && zeroed[i] == 0.0F) ++zeros;
+    if (original[i] != 0.0F && flipped[i] == -original[i]) ++sign_changes;
+    // Every mode keeps weights finite (NaN/Inf results are masked).
+    EXPECT_TRUE(std::isfinite(zeroed[i]));
+    EXPECT_TRUE(std::isfinite(flipped[i]));
+    EXPECT_TRUE(std::isfinite(perturbed[i]));
+  }
+  EXPECT_GT(zeros, 0U);
+  EXPECT_GT(sign_changes, 0U);
+}
+
+TEST(WeightCorruptor, Q8PathHitsQuantizedBlocks) {
+  auto net = tiny_net();
+  net->quantize_for_inference();
+  ASSERT_FALSE(net->quantized_weights().empty());
+
+  // Sum of |scales| before, to detect scale corruption.
+  const auto scale_mass = [](nn::Network& n) {
+    double total = 0.0;
+    for (const kernels::Q8Matrix* q : n.quantized_weights()) {
+      const std::size_t blocks = q->rows * q->blocks_per_row;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        total += std::abs(static_cast<double>(q->scales[b]));
+      }
+    }
+    return total;
+  };
+  const double before = scale_mass(*net);
+
+  CorruptionSpec spec;
+  spec.mode = CorruptionMode::kZero;  // zeroes block scales on the q8 path
+  spec.fraction = 0.3;
+  spec.seed = 9;
+  const CorruptionReport r = corrupt_network(*net, spec);
+  EXPECT_GT(r.blocks_hit, 0U);
+  EXPECT_EQ(r.scalars_hit, 0U);  // q8 path counts blocks, not scalars
+  EXPECT_LT(scale_mass(*net), before);
+
+  // Bit flips on codes keep the network usable: a forward pass still runs.
+  CorruptionSpec bits;
+  bits.mode = CorruptionMode::kBitFlip;
+  bits.fraction = 0.1;
+  bits.seed = 10;
+  (void)corrupt_network(*net, bits);
+  Tensor batch({2, 3, 16, 16});
+  for (float& v : batch.flat()) v = 0.5F;
+  const std::vector<int> preds = nn::predict_batch(*net, batch);
+  EXPECT_EQ(preds.size(), 2U);
+}
+
+TEST(WeightCorruptor, CorruptionDegradesAgreement) {
+  // The drill the pipeline relies on: heavy sign-flip corruption must change
+  // predictions, or the health check could never observe the fault.
+  auto golden = tiny_net();
+  auto faulty = tiny_net();
+  CorruptionSpec spec;
+  spec.mode = CorruptionMode::kSignFlip;
+  spec.fraction = 0.3;
+  spec.seed = 13;
+  (void)corrupt_network(*faulty, spec);
+
+  data::Dataset probe = tiny_window();
+  const std::vector<int> a = nn::predict_classes(*golden, probe.images);
+  const std::vector<int> b = nn::predict_classes(*faulty, probe.images);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += (a[i] != b[i]) ? 1 : 0;
+  EXPECT_GT(diff, 0U);
+}
+
+TEST(Retrainer, MetamorphicAugmentPreservesOriginalsAndLabels) {
+  const data::Dataset window = tiny_window();
+  Rng rng(3);
+  const data::Dataset aug = Retrainer::metamorphic_augment(window, 2, rng);
+  ASSERT_EQ(aug.size(), window.size() * 3);
+  // Originals ride first, byte-identical.
+  const std::size_t row = window.channels() * window.height() * window.width();
+  EXPECT_EQ(std::memcmp(aug.images.data(), window.images.data(),
+                        window.size() * row * sizeof(float)),
+            0);
+  // Transformed copies keep their source labels and stay in [0, 1].
+  for (std::size_t copy = 0; copy < 2; ++copy) {
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      EXPECT_EQ(aug.labels[(copy + 1) * window.size() + i], window.labels[i]);
+    }
+  }
+  for (const float v : aug.images.flat()) {
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LE(v, 1.0F);
+  }
+  aug.validate();
+}
+
+TEST(Retrainer, CandidatesAreDeterministicPerRound) {
+  RetrainerConfig cfg;
+  cfg.arch = models::Arch::kConvNet;
+  cfg.model_config = tiny_config();
+  cfg.model_config.num_classes = 10;  // matches the synthetic window
+  cfg.train_opts.epochs = 1;
+  cfg.seed = 21;
+  Retrainer r(cfg);
+  const data::Dataset window = tiny_window();
+  auto a = r.fit_candidate(window, 3);
+  auto b = r.fit_candidate(window, 3);
+  EXPECT_EQ(a->save_weights(), b->save_weights());
+  auto c = r.fit_candidate(window, 4);  // a different round diverges
+  EXPECT_NE(a->save_weights(), c->save_weights());
+}
+
+TEST(Retrainer, FaultAwareTrainingRunsAndStaysFinite) {
+  RetrainerConfig cfg;
+  cfg.arch = models::Arch::kConvNet;
+  cfg.model_config = tiny_config();
+  cfg.model_config.num_classes = 10;
+  cfg.train_opts.epochs = 2;
+  cfg.fault_aware = true;
+  cfg.fault_corruption.mode = CorruptionMode::kPerturb;
+  cfg.fault_corruption.fraction = 0.02;
+  cfg.seed = 22;
+  Retrainer r(cfg);
+  EXPECT_EQ(r.technique_label(), "Base+fat");
+  auto net = r.fit_candidate(tiny_window(), 1);
+  for (const float w : net->save_weights()) EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(Retrainer, RejectsEnsembleAndFaultAwareNonBaseline) {
+  RetrainerConfig cfg;
+  cfg.technique = mitigation::TechniqueKind::kEnsemble;
+  EXPECT_THROW(Retrainer{cfg}, Error);
+  cfg.technique = mitigation::TechniqueKind::kLabelSmoothing;
+  cfg.fault_aware = true;
+  EXPECT_THROW(Retrainer{cfg}, Error);
+}
+
+TEST(WeightCorruptor, ModeNamesRoundTrip) {
+  for (const CorruptionMode m :
+       {CorruptionMode::kBitFlip, CorruptionMode::kSignFlip,
+        CorruptionMode::kZero, CorruptionMode::kPerturb}) {
+    EXPECT_EQ(corruption_mode_from_name(corruption_mode_name(m)), m);
+  }
+  EXPECT_THROW((void)corruption_mode_from_name("rust"), Error);
+}
+
+}  // namespace
+}  // namespace tdfm::pipeline

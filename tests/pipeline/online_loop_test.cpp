@@ -1,0 +1,187 @@
+// OnlinePipeline end to end: the bootstrap -> promote -> corrupt -> rollback
+// story, bit-identical decisions across reruns and worker/thread counts, and
+// the v3 checkpoint promotion transport.
+//
+// The hot-swap-under-canary path (engine serving while the registry swaps
+// versions) runs in every test here, so `ctest -L pipeline` under TSan covers
+// it by construction.
+#include "pipeline/online_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/thread_pool.hpp"
+#include "nn/checkpoint.hpp"
+
+namespace tdfm::pipeline {
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+// The calibrated scenario: models strong enough that AD between consecutive
+// candidates clears the 0.5 guardrail, a drill at round 3 heavy enough that
+// the next health check must roll back, and a hysteresis band that stays
+// inside AD's [0, 1] range (0.5 * 1.4 = 0.7).
+PipelineConfig story_config() {
+  PipelineConfig cfg;
+  cfg.dataset.scale = 0.6;
+  cfg.stream.mislabel_percent = 20.0;
+  cfg.stream.chunk_size = 96;
+  cfg.ingest.window = 192;
+  cfg.ingest.hop = 0;
+  cfg.ingest.capacity = 768;
+  cfg.retrain.train_opts.epochs = 6;
+  cfg.bootstrap_epochs = 4;
+  cfg.canary.ad_threshold = 0.5;
+  cfg.canary.accuracy_margin = 0.05;
+  cfg.canary.rollback_factor = 1.4;
+  cfg.rounds = 8;
+  cfg.retrain_every = 2;
+  cfg.serve_per_round = 8;
+  cfg.corrupt_round = 3;
+  cfg.corruption.mode = CorruptionMode::kSignFlip;
+  cfg.corruption.fraction = 0.2;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(OnlinePipeline, StoryPromotesThenDrillsThenRollsBack) {
+  const PipelineResult r = OnlinePipeline(story_config()).run();
+  EXPECT_EQ(r.rounds_run, 8U);
+  EXPECT_GE(r.promotions, 1U) << "no candidate cleared the AD guardrail";
+  EXPECT_EQ(r.corruptions, 1U);
+  EXPECT_GE(r.rollbacks, 1U) << "health check missed the drilled fault";
+  EXPECT_GT(r.traffic_served, 0U);
+  // Bootstrap fills one window (2 chunks) before the 8-round loop.
+  EXPECT_EQ(r.samples_streamed, (8U + 2U) * 96U);
+
+  // Decision 0 is always the bootstrap; the drill and its rollback are
+  // ordered drill-first in the log.
+  ASSERT_FALSE(r.decisions.empty());
+  EXPECT_EQ(r.decisions.front().action, Action::kBootstrap);
+  std::size_t drill_at = 0;
+  std::size_t rollback_at = 0;
+  for (std::size_t i = 0; i < r.decisions.size(); ++i) {
+    if (r.decisions[i].action == Action::kCorrupt) drill_at = i;
+    if (r.decisions[i].action == Action::kRollback && rollback_at == 0) {
+      rollback_at = i;
+    }
+  }
+  EXPECT_GT(drill_at, 0U);
+  EXPECT_GT(rollback_at, drill_at);
+  EXPECT_TRUE(r.decisions[drill_at].corrupted);
+  // The rollback judges exactly the version the drill installed; the
+  // restored good weights land as a fresh (higher) registry version,
+  // recorded as the rollback decision's candidate.
+  EXPECT_EQ(r.decisions[rollback_at].live_version,
+            r.decisions[drill_at].candidate_version);
+  EXPECT_GT(r.decisions[rollback_at].candidate_version,
+            r.decisions[rollback_at].live_version);
+}
+
+TEST(OnlinePipeline, DecisionsAreBitIdenticalAcrossRerunsAndWorkers) {
+  PipelineConfig cfg = story_config();
+  cfg.engine.workers = 1;
+  const PipelineResult base = OnlinePipeline(cfg).run();
+
+  // Same config, fresh pipeline.
+  const PipelineResult rerun = OnlinePipeline(cfg).run();
+  EXPECT_EQ(rerun.decisions, base.decisions);
+
+  // More engine workers and a wider thread pool: the batching queue slices
+  // traffic differently, but per-sample forwards are batch-composition
+  // independent, so not one field of one decision may move.
+  const std::size_t prev = core::ThreadPool::global_threads();
+  core::ThreadPool::set_global_threads(4);
+  PipelineConfig wide = cfg;
+  wide.engine.workers = 3;
+  const PipelineResult parallel = OnlinePipeline(wide).run();
+  core::ThreadPool::set_global_threads(prev);
+  EXPECT_EQ(parallel.decisions, base.decisions);
+  EXPECT_EQ(parallel.traffic_correct, base.traffic_correct);
+}
+
+TEST(OnlinePipeline, DecisionLogFileIsByteIdenticalAcrossRuns) {
+  const TempDir dir("pipeline_log_determinism/");
+  PipelineConfig cfg = story_config();
+  // Shrink the scenario: byte-identity is about serialization, not the
+  // full story arc.
+  cfg.rounds = 4;
+  cfg.corrupt_round = 0;
+  cfg.decision_log_path = dir.path + "a.jsonl";
+  (void)OnlinePipeline(cfg).run();
+  cfg.decision_log_path = dir.path + "b.jsonl";
+  (void)OnlinePipeline(cfg).run();
+
+  const std::string a = slurp(dir.path + "a.jsonl");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(dir.path + "b.jsonl"));
+
+  // And the file round-trips through the loader.
+  bool torn = true;
+  const std::vector<Decision> loaded =
+      DecisionLog::load(dir.path + "a.jsonl", &torn);
+  EXPECT_FALSE(torn);
+  EXPECT_FALSE(loaded.empty());
+  EXPECT_EQ(loaded.front().action, Action::kBootstrap);
+}
+
+TEST(OnlinePipeline, CheckpointTransportWritesV3WhenQuantized) {
+  const TempDir dir("pipeline_ckpt_transport/");
+  PipelineConfig cfg = story_config();
+  cfg.rounds = 4;
+  cfg.corrupt_round = 0;
+  cfg.quantize = true;
+  cfg.checkpoint_dir = dir.path;
+  cfg.model_name = "loop";
+  const PipelineResult r = OnlinePipeline(cfg).run();
+  ASSERT_GE(r.promotions + 1U, 1U);  // bootstrap always publishes
+
+  // Every published version left a self-describing checkpoint whose header
+  // carries the quantize deployment flag (format v3).
+  std::size_t checkpoints = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    ++checkpoints;
+    const std::string path = entry.path().string();
+    EXPECT_EQ(nn::checkpoint_format_version(path), 3U) << path;
+    EXPECT_TRUE(nn::read_checkpoint_meta(path).quantize) << path;
+  }
+  EXPECT_GE(checkpoints, 1U);
+  for (const Decision& d : r.decisions) {
+    if (d.action == Action::kPromote || d.action == Action::kBootstrap) {
+      EXPECT_TRUE(d.quantized);
+    }
+  }
+}
+
+TEST(OnlinePipeline, RejectsDegenerateConfig) {
+  PipelineConfig cfg = story_config();
+  cfg.rounds = 0;  // and duration 0: nothing to run
+  EXPECT_THROW((void)OnlinePipeline(cfg).run(), Error);
+
+  cfg = story_config();
+  cfg.canary_fraction = 1.5;
+  EXPECT_THROW((void)OnlinePipeline(cfg).run(), Error);
+
+  cfg = story_config();
+  cfg.retrain_every = 0;
+  EXPECT_THROW((void)OnlinePipeline(cfg).run(), Error);
+}
+
+}  // namespace
+}  // namespace tdfm::pipeline

@@ -1,0 +1,184 @@
+// StreamSource + IngestBuffer: bit-identical replay, injection accounting,
+// window discipline (tumbling vs sliding), and the capacity/drop/watermark
+// contract.
+#include "pipeline/ingest_buffer.hpp"
+#include "pipeline/stream_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/thread_pool.hpp"
+#include "data/synthetic.hpp"
+
+namespace tdfm::pipeline {
+namespace {
+
+data::Dataset base_dataset(std::size_t scale_hint = 1) {
+  data::SyntheticSpec spec;
+  spec.kind = data::DatasetKind::kCifar10Sim;
+  spec.scale = 0.3 * static_cast<double>(scale_hint);
+  return data::generate(spec).train;
+}
+
+bool chunks_equal(const StreamChunk& a, const StreamChunk& b) {
+  return a.index == b.index && a.first_seq == b.first_seq &&
+         a.samples.labels == b.samples.labels &&
+         a.samples.images.numel() == b.samples.images.numel() &&
+         std::memcmp(a.samples.images.data(), b.samples.images.data(),
+                     a.samples.images.numel() * sizeof(float)) == 0;
+}
+
+TEST(StreamSource, BitIdenticalAcrossInstancesAndThreadCounts) {
+  const data::Dataset base = base_dataset();
+  StreamConfig cfg;
+  cfg.mislabel_percent = 25.0;
+  cfg.repeat_percent = 10.0;
+  cfg.remove_percent = 5.0;
+  cfg.chunk_size = 32;
+  cfg.seed = 99;
+
+  const std::size_t prev = core::ThreadPool::global_threads();
+  core::ThreadPool::set_global_threads(1);
+  StreamSource a(base, cfg);
+  std::vector<StreamChunk> first;
+  for (int i = 0; i < 5; ++i) first.push_back(a.next());
+
+  // A different pool width and unrelated interleaved work must not move a
+  // single byte: chunk i's randomness is a pure function of (seed, i).
+  core::ThreadPool::set_global_threads(4);
+  StreamSource b(base, cfg);
+  for (int i = 0; i < 5; ++i) {
+    Rng noise(123 + static_cast<std::uint64_t>(i));
+    (void)noise.next();  // unrelated RNG draws between chunks
+    EXPECT_TRUE(chunks_equal(first[static_cast<std::size_t>(i)], b.next()))
+        << "chunk " << i << " diverged";
+  }
+  core::ThreadPool::set_global_threads(prev);
+}
+
+TEST(StreamSource, SequenceNumbersAreContiguous) {
+  StreamConfig cfg;
+  cfg.mislabel_percent = 0.0;
+  cfg.repeat_percent = 20.0;  // emits extra samples
+  cfg.remove_percent = 10.0;  // consumes base samples without emitting
+  cfg.chunk_size = 40;
+  StreamSource s(base_dataset(), cfg);
+  std::uint64_t expect_seq = 0;
+  for (int i = 0; i < 6; ++i) {
+    const StreamChunk c = s.next();
+    EXPECT_EQ(c.first_seq, expect_seq);
+    expect_seq += c.samples.size();
+  }
+  EXPECT_EQ(s.emitted(), expect_seq);
+}
+
+TEST(StreamSource, InjectionReportsMatchConfiguredFaults) {
+  StreamConfig cfg;
+  cfg.mislabel_percent = 50.0;
+  cfg.chunk_size = 64;
+  StreamSource s(base_dataset(), cfg);
+  const StreamChunk c = s.next();
+  EXPECT_EQ(c.samples.size(), 64U);  // mislabelling keeps the count
+  EXPECT_GT(c.report.mislabelled, 0U);
+  c.samples.validate();
+
+  StreamConfig clean;
+  clean.mislabel_percent = 0.0;
+  clean.chunk_size = 64;
+  StreamSource t(base_dataset(), clean);
+  const StreamChunk d = t.next();
+  EXPECT_EQ(d.report.mislabelled, 0U);
+  EXPECT_EQ(d.report.repeated, 0U);
+  EXPECT_EQ(d.report.removed, 0U);
+}
+
+StreamChunk make_chunk(StreamSource& s) { return s.next(); }
+
+TEST(IngestBuffer, TumblingWindowsAreDisjoint) {
+  StreamConfig scfg;
+  scfg.mislabel_percent = 0.0;
+  scfg.chunk_size = 32;
+  StreamSource s(base_dataset(), scfg);
+  IngestConfig cfg;
+  cfg.window = 64;
+  cfg.hop = 0;  // tumbling
+  cfg.capacity = 256;
+  IngestBuffer buf(cfg);
+  while (!buf.window_ready()) buf.push(make_chunk(s));
+
+  std::uint64_t f1 = 0;
+  std::uint64_t l1 = 0;
+  const data::Dataset w1 = buf.take_window(&f1, &l1);
+  EXPECT_EQ(w1.size(), 64U);
+  EXPECT_EQ(f1, 0U);
+  EXPECT_EQ(l1, 63U);
+
+  while (!buf.window_ready()) buf.push(make_chunk(s));
+  std::uint64_t f2 = 0;
+  std::uint64_t l2 = 0;
+  const data::Dataset w2 = buf.take_window(&f2, &l2);
+  EXPECT_EQ(f2, 64U);  // no overlap with window 1
+  EXPECT_EQ(l2, 127U);
+  EXPECT_EQ(buf.stats().windows, 2U);
+}
+
+TEST(IngestBuffer, SlidingWindowsOverlapByWindowMinusHop) {
+  StreamConfig scfg;
+  scfg.mislabel_percent = 0.0;
+  scfg.chunk_size = 32;
+  StreamSource s(base_dataset(), scfg);
+  IngestConfig cfg;
+  cfg.window = 64;
+  cfg.hop = 16;  // sliding: 48 samples shared between consecutive windows
+  cfg.capacity = 256;
+  IngestBuffer buf(cfg);
+  while (!buf.window_ready()) buf.push(make_chunk(s));
+
+  std::uint64_t f1 = 0;
+  std::uint64_t l1 = 0;
+  (void)buf.take_window(&f1, &l1);
+  EXPECT_EQ(buf.pending(), 64U - 16U);  // only hop samples consumed
+  while (!buf.window_ready()) buf.push(make_chunk(s));
+  std::uint64_t f2 = 0;
+  std::uint64_t l2 = 0;
+  (void)buf.take_window(&f2, &l2);
+  EXPECT_EQ(f2, f1 + 16);  // slid by exactly hop
+}
+
+TEST(IngestBuffer, OverflowDropsOldestAndAdvancesWatermark) {
+  StreamConfig scfg;
+  scfg.mislabel_percent = 0.0;
+  scfg.chunk_size = 50;
+  StreamSource s(base_dataset(), scfg);
+  IngestConfig cfg;
+  cfg.window = 40;
+  cfg.hop = 0;
+  cfg.capacity = 100;
+  IngestBuffer buf(cfg);
+  for (int i = 0; i < 4; ++i) buf.push(make_chunk(s));  // 200 pushed into 100
+
+  const IngestStats& st = buf.stats();
+  EXPECT_EQ(st.pushed, 200U);
+  EXPECT_EQ(st.dropped, 100U);
+  EXPECT_EQ(buf.pending(), 100U);
+  // Watermark tracks the stream head even though half the samples are gone.
+  EXPECT_EQ(st.watermark, 200U);
+
+  // The oldest *surviving* sample is #100: the next window must start there.
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  const data::Dataset w = buf.take_window(&first, &last);
+  EXPECT_EQ(w.size(), 40U);
+  EXPECT_EQ(first, 100U);
+  EXPECT_EQ(last, 139U);
+}
+
+TEST(IngestBuffer, RejectsDegenerateConfigs) {
+  EXPECT_THROW(IngestBuffer(IngestConfig{0, 0, 16}), Error);
+  EXPECT_THROW(IngestBuffer(IngestConfig{16, 32, 64}), Error);  // hop > window
+  EXPECT_THROW(IngestBuffer(IngestConfig{64, 0, 32}), Error);  // capacity < window
+}
+
+}  // namespace
+}  // namespace tdfm::pipeline

@@ -195,6 +195,43 @@ TEST(InferenceEngine, ShutdownResolvesEveryPendingFuture) {
   }
 }
 
+// drain() is the graceful counterpart of shutdown(): admission stops, but
+// every already-accepted request is *served*.  The queue settings here make
+// the distinction observable — the batch never fills and the delay bound is
+// effectively infinite, so only drain's flush-immediately rule can get the
+// backlog to a worker.  Shutdown under the same settings rejects (see
+// ShutdownResolvesEveryPendingFuture, which accepts either status).
+TEST(InferenceEngine, DrainServesEveryAcceptedRequest) {
+  ModelRegistry registry;
+  install_version(registry, "toy", 1);
+  EngineConfig cfg;
+  cfg.workers = 1;
+  cfg.batching.max_queue_delay_us = 60'000'000;
+  cfg.batching.max_batch_size = 128;  // never fills: requests sit pending
+  cfg.batching.max_queue_depth = 256;
+  InferenceEngine engine(registry, "toy", cfg);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine.submit(probe_image()));
+  engine.drain();
+
+  const int want = expected_class(1);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(milliseconds(0)), std::future_status::ready);
+    const Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk) << status_name(r.status);
+    EXPECT_EQ(r.predicted_class, want);
+  }
+  EXPECT_EQ(engine.stats().served, 16U);
+
+  // Once drained the engine behaves like a shut-down one: new submissions
+  // are rejected, and both teardown calls stay idempotent.
+  EXPECT_EQ(engine.submit(probe_image()).get().status,
+            Status::kRejectedShutdown);
+  engine.drain();
+  engine.shutdown();
+}
+
 // The acceptance-criteria test: versions are swapped while clients hammer
 // the engine.  Every request must terminate (prediction or explicit
 // rejection), and every prediction must match what the *claimed* version

@@ -62,6 +62,34 @@ TEST(ModelRegistry, LoadsSelfDescribingV2Checkpoint) {
   EXPECT_EQ(model->predict(batch, 1), want);
 }
 
+TEST(ModelRegistry, V3QuantizeFlagAutoQuantizesOnLoad) {
+  const models::ModelConfig config = small_config();
+  Rng rng(12);
+  auto fitted = models::build_model(models::Arch::kConvNet, config, rng);
+  const TempFile file("registry_v3.ckpt");
+  nn::CheckpointMeta meta =
+      models::checkpoint_meta(models::Arch::kConvNet, config);
+  meta.quantize = true;  // the checkpoint says "deploy me in q8_0 form"
+  nn::save_checkpoint(*fitted, file.path, meta);
+
+  ModelRegistry registry(/*replica_slots=*/2);
+  // No quantize argument: the self-describing header alone must trigger it.
+  EXPECT_EQ(registry.load("m", file.path), 1U);
+  auto model = registry.current("m");
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->quantized());
+
+  // The replicas serve the *quantized* predictions: identical across slots,
+  // and matching a locally quantized copy of the same weights.
+  auto twin = models::build_model(models::Arch::kConvNet, config, rng);
+  twin->copy_weights_from(*fitted);
+  twin->quantize_for_inference();
+  const Tensor batch = test_batch(6);
+  const std::vector<int> want = nn::predict_batch(*twin, batch);
+  EXPECT_EQ(model->predict(batch, 0), want);
+  EXPECT_EQ(model->predict(batch, 1), want);
+}
+
 TEST(ModelRegistry, V1CheckpointNeedsExplicitArch) {
   const models::ModelConfig config = small_config();
   Rng rng(12);
